@@ -1,0 +1,67 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every figure/table of the paper's evaluation (appendix 10.1) has a
+benchmark module here.  Benchmarks measure *real* per-operation service
+times through the full stack with pytest-benchmark, then (for the two
+figures) model the paper's client-thread sweep with the closed-loop MVA
+model in :mod:`repro.ycsb.runner` and print the series next to the
+paper's reported values.
+
+Scale knob: the paper loads 10 M documents; the default here is small
+enough for a laptop run.  Set ``REPRO_YCSB_RECORDS`` to raise it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import Cluster
+from repro.ycsb import CoreWorkload, YcsbClient, workload_a, workload_e
+
+#: The paper's sweep: 4 clients x 12..32 threads.
+THREAD_SWEEP = [48, 64, 80, 96, 112, 128]
+
+RECORDS = int(os.environ.get("REPRO_YCSB_RECORDS", "400"))
+
+
+def print_series(title: str, header: tuple, rows: list) -> None:
+    """Render one figure's series the way the paper tabulates it."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+              for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="module")
+def ycsb_a_cluster():
+    """4-node cluster (all services everywhere, as in Figure 14) loaded
+    with the workload-A dataset."""
+    cluster = Cluster(nodes=4, vbuckets=64)
+    cluster.create_bucket("ycsb")
+    workload = CoreWorkload(workload_a(record_count=RECORDS), seed=11)
+    client = YcsbClient(cluster, "ycsb", workload)
+    client.load()
+    return cluster, client
+
+
+@pytest.fixture(scope="module")
+def ycsb_e_cluster():
+    """Same topology with ordered keys and the primary GSI index the
+    N1QL scan query needs."""
+    cluster = Cluster(nodes=4, vbuckets=64)
+    cluster.create_bucket("ycsb")
+    workload = CoreWorkload(workload_e(record_count=RECORDS), seed=11)
+    client = YcsbClient(cluster, "ycsb", workload)
+    client.load()
+    cluster.query("CREATE PRIMARY INDEX ON ycsb USING GSI")
+    cluster.run_until_idle()
+    return cluster, client

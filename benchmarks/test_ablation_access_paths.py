@@ -1,0 +1,98 @@
+"""Ablation -- N1QL access paths (sections 4.5.3 and 5.1).
+
+The paper ranks the access paths: key-value / USE KEYS fastest, covering
+index scans next ("covered queries deliver better performance", 5.1.2),
+index scan + fetch after that, and PrimaryScan last ("quite expensive,
+and the average time to return results increases linearly with number of
+documents", 4.5.3 / 5.1.1).  This bench measures all four on the same
+data and asserts the ordering.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import Cluster
+
+N_DOCS = 300
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=32)
+    cluster.create_bucket("b")
+    client = cluster.connect()
+    for i in range(N_DOCS):
+        client.upsert("b", f"user{i:05d}", {
+            "name": f"name{i:05d}", "age": 20 + i % 50, "city": f"c{i % 7}",
+        })
+    cluster.run_until_idle()
+    cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+    cluster.query("CREATE INDEX cov ON b(age, name) USING GSI")
+    cluster.run_until_idle()
+    return cluster
+
+
+results = {}
+
+
+@pytest.mark.benchmark(group="access-paths")
+def test_use_keys(cluster, benchmark):
+    def op():
+        return cluster.query(
+            'SELECT b.name FROM b USE KEYS "user00123"').rows
+
+    rows = benchmark(op)
+    assert rows == [{"name": "name00123"}]
+    results["use_keys"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="access-paths")
+def test_covering_index_scan(cluster, benchmark):
+    def op():
+        return cluster.query(
+            "SELECT b.name FROM b WHERE b.age = 31").rows
+
+    rows = benchmark(op)
+    assert len(rows) == N_DOCS // 50
+    results["covering"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="access-paths")
+def test_index_scan_with_fetch(cluster, benchmark):
+    def op():
+        return cluster.query(
+            "SELECT b.city FROM b WHERE b.age = 31").rows
+
+    rows = benchmark(op)
+    assert len(rows) == N_DOCS // 50
+    results["index_fetch"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="access-paths")
+def test_primary_scan(cluster, benchmark):
+    def op():
+        return cluster.query(
+            "SELECT b.name FROM b WHERE b.city = 'c3'").rows
+
+    rows = benchmark(op)
+    assert len(rows) > 0
+    results["primary_scan"] = benchmark.stats.stats.mean
+    _report_and_assert()
+
+
+def _report_and_assert():
+    assert set(results) == {"use_keys", "covering", "index_fetch",
+                            "primary_scan"}
+    rows = [
+        (name, f"{results[name] * 1e3:.3f} ms")
+        for name in ("use_keys", "covering", "index_fetch", "primary_scan")
+    ]
+    print_series(
+        "Ablation: access-path latency (same data, same predicate shape)",
+        ("access path", "mean latency"),
+        rows,
+    )
+    # The paper's ordering claims:
+    assert results["use_keys"] < results["primary_scan"]
+    assert results["covering"] < results["index_fetch"]
+    assert results["index_fetch"] < results["primary_scan"]

@@ -1,0 +1,90 @@
+"""Ablation -- append-only storage and compaction (section 4.3.3).
+
+"With Couchbase's append-only storage engine design, document mutations
+always go to the end of a file ... Compaction is periodically run, based
+on a fragmentation threshold."  This bench measures (a) the raw cost of
+a compaction pass, and (b) how the fragmentation threshold trades file
+size against write amplification over a sustained overwrite workload.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro.common.disk import SimulatedDisk
+from repro.common.document import Document, DocumentMeta
+from repro.storage.compaction import Compactor
+from repro.storage.couchstore import VBucketStore
+
+
+def _churn(store, rounds, keys, seq_start=0):
+    seq = seq_start
+    for _ in range(rounds):
+        batch = []
+        for k in range(keys):
+            seq += 1
+            meta = DocumentMeta(key=f"key{k:04d}", cas=seq, seqno=seq, rev=seq)
+            batch.append(Document(meta, {"pad": "x" * 120, "seq": seq}))
+        store.save_docs(batch)
+        store.write_header()
+    return seq
+
+
+@pytest.mark.benchmark(group="compaction")
+def test_compaction_pass_cost(benchmark):
+    def setup():
+        disk = SimulatedDisk()
+        store = VBucketStore(disk, "vb0", 0)
+        _churn(store, rounds=30, keys=20)
+        return (disk, store), {}
+
+    def run(disk, store):
+        Compactor(disk).compact(store)
+
+    benchmark.pedantic(run, setup=setup, rounds=10)
+
+
+@pytest.mark.benchmark(group="compaction")
+def test_threshold_tradeoff_report(benchmark):
+    """Sweep the fragmentation threshold and report end-state file size
+    vs total bytes written (write amplification).  The benchmark times
+    one full churn-with-compaction run at the middle threshold."""
+
+    def churn_run():
+        disk = SimulatedDisk()
+        store = VBucketStore(disk, "vb0", 0)
+        compactor = Compactor(disk, threshold=0.5)
+        seq = 0
+        for _ in range(40):
+            seq = _churn(store, rounds=1, keys=20, seq_start=seq)
+            if compactor.needs_compaction(store):
+                store = compactor.compact(store)
+
+    benchmark.pedantic(churn_run, rounds=3)
+    rows = []
+    sizes = {}
+    written = {}
+    for threshold in (0.2, 0.5, 0.8):
+        disk = SimulatedDisk()
+        store = VBucketStore(disk, "vb0", 0)
+        compactor = Compactor(disk, threshold=threshold)
+        seq = 0
+        for _ in range(40):
+            seq = _churn(store, rounds=1, keys=20, seq_start=seq)
+            if compactor.needs_compaction(store):
+                store = compactor.compact(store)
+        rows.append((
+            f"{threshold:.1f}",
+            compactor.runs,
+            f"{store.file_size:,}",
+            f"{disk.stats.bytes_written:,}",
+        ))
+        sizes[threshold] = store.file_size
+        written[threshold] = disk.stats.bytes_written
+    print_series(
+        "Ablation: compaction threshold vs file size and write amplification",
+        ("threshold", "compactions", "final file bytes", "total bytes written"),
+        rows,
+    )
+    # Aggressive compaction keeps files smaller but writes more in total.
+    assert sizes[0.2] <= sizes[0.8]
+    assert written[0.2] >= written[0.8]

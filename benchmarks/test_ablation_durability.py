@@ -1,0 +1,81 @@
+"""Ablation -- write durability options (section 2.3.2).
+
+"Most users choose to receive a response immediately once the data hits
+memory, or ... first replicate the data to one other node for safety.
+Since replication is memory-to-memory, the latency hit with the
+replication option is significantly less than waiting for persistence."
+
+This bench measures the write path with (a) no durability wait, (b)
+``replicate_to=1`` (memory-to-memory), and (c) ``persist_to=1`` (wait
+for the flusher + fsync), asserting the paper's ordering:
+none < replicate_to < persist_to is not guaranteed in wall-clock in a
+simulator, but none must be cheapest and both waits must cost more.
+"""
+
+import itertools
+
+import pytest
+from conftest import print_series
+
+from repro import Cluster
+
+results = {}
+_key_counter = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=32)
+    cluster.create_bucket("b", replicas=1)
+    cluster._bench_client = cluster.connect()
+    return cluster
+
+
+def _write_op(cluster, **durability):
+    client = cluster._bench_client
+
+    def op():
+        key = f"k{next(_key_counter)}"
+        client.upsert("b", key, {"payload": "x" * 256}, **durability)
+
+    return op
+
+
+@pytest.mark.benchmark(group="durability")
+def test_async_write(cluster, benchmark):
+    benchmark(_write_op(cluster))
+    results["none (memory ack)"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="durability")
+def test_replicate_to_one(cluster, benchmark):
+    benchmark(_write_op(cluster, replicate_to=1))
+    results["replicate_to=1"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="durability")
+def test_persist_to_one(cluster, benchmark):
+    benchmark(_write_op(cluster, persist_to=1))
+    results["persist_to=1"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="durability")
+def test_replicate_and_persist(cluster, benchmark):
+    benchmark(_write_op(cluster, replicate_to=1, persist_to=2))
+    results["replicate_to=1 + persist_to=2"] = benchmark.stats.stats.mean
+    _report_and_assert()
+
+
+def _report_and_assert():
+    rows = [(name, f"{value * 1e6:.1f} us") for name, value in results.items()]
+    print_series(
+        "Ablation: write latency by durability requirement",
+        ("durability", "mean latency"),
+        rows,
+    )
+    # The async write (ack from memory) must be the cheapest option --
+    # that is the entire point of section 2.3.2.
+    baseline = results["none (memory ack)"]
+    assert baseline <= results["replicate_to=1"]
+    assert baseline <= results["persist_to=1"]
+    assert baseline <= results["replicate_to=1 + persist_to=2"]

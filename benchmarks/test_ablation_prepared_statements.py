@@ -1,0 +1,65 @@
+"""Ablation -- ad-hoc vs prepared N1QL execution.
+
+Section 4.5.3: "Some operations, like query parsing and planning, are
+done serially, while other operations ... are done in a local parallel
+manner."  The serial front half is pure per-request overhead for hot
+statements; PREPARE/EXECUTE caches the parse and the plan.  This bench
+quantifies the cost of the serial phase by running the same statement
+both ways.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import Cluster
+
+results = {}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=32)
+    cluster.create_bucket("b", replicas=0)
+    client = cluster.connect()
+    for i in range(300):
+        client.upsert("b", f"u{i:04d}", {"age": i % 50, "name": f"n{i:04d}"})
+    cluster.run_until_idle()
+    cluster.query("CREATE INDEX by_age ON b(age) USING GSI")
+    cluster.query("PREPARE hot FROM SELECT x.name FROM b x WHERE x.age = $1")
+    return cluster
+
+
+@pytest.mark.benchmark(group="prepared")
+def test_adhoc(cluster, benchmark):
+    def op():
+        return cluster.query(
+            "SELECT x.name FROM b x WHERE x.age = $1", params={"1": 17}
+        ).rows
+
+    rows = benchmark(op)
+    assert len(rows) == 6
+    results["ad-hoc (parse+plan+run)"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="prepared")
+def test_prepared(cluster, benchmark):
+    def op():
+        return cluster.query("EXECUTE hot", params={"1": 17}).rows
+
+    rows = benchmark(op)
+    assert len(rows) == 6
+    results["prepared (run only)"] = benchmark.stats.stats.mean
+    _report_and_assert()
+
+
+def _report_and_assert():
+    rows = [(name, f"{value * 1e3:.3f} ms") for name, value in results.items()]
+    overhead = (results["ad-hoc (parse+plan+run)"]
+                - results["prepared (run only)"])
+    rows.append(("serial parse+plan overhead", f"{overhead * 1e3:.3f} ms"))
+    print_series(
+        "Ablation: ad-hoc vs prepared N1QL execution",
+        ("mode", "mean latency"),
+        rows,
+    )
+    assert results["prepared (run only)"] < results["ad-hoc (parse+plan+run)"]

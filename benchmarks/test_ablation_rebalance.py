@@ -1,0 +1,50 @@
+"""Ablation -- rebalance cost (section 4.3.1).
+
+The paper describes rebalance as a per-partition move with an atomic
+switchover.  Its cost scales with the data moved, not with total cluster
+size, because only the vBuckets that change owner travel.  This bench
+measures a scale-out rebalance at three dataset sizes and reports the
+moves and wall cost, asserting that minimal-move planning keeps the
+moved fraction near the theoretical 1/n.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import Cluster
+
+
+def build_cluster(docs):
+    cluster = Cluster(nodes=3, vbuckets=32)
+    cluster.create_bucket("b", replicas=1)
+    client = cluster.connect()
+    for i in range(docs):
+        client.upsert("b", f"k{i:05d}", {"i": i, "pad": "x" * 100})
+    cluster.run_until_idle()
+    return cluster
+
+
+@pytest.mark.benchmark(group="rebalance")
+@pytest.mark.parametrize("docs", [100, 400])
+def test_scale_out_rebalance(benchmark, docs):
+    reports = []
+
+    def setup():
+        cluster = build_cluster(docs)
+        cluster.add_node("node4")
+        return (cluster,), {}
+
+    def run(cluster):
+        reports.append(cluster.rebalance())
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    moves = reports[-1]["b"]["moves"]
+    # 32 vBuckets over 4 nodes: ~8 should move to the new node; the
+    # minimal-move planner must not reshuffle everything.
+    assert 0 < moves <= 16
+    print_series(
+        f"Ablation: scale-out rebalance, {docs} docs",
+        ("metric", "value"),
+        [("vBucket moves (of 32)", moves),
+         ("mean wall seconds", f"{benchmark.stats.stats.mean:.3f}")],
+    )

@@ -1,0 +1,65 @@
+"""Ablation -- N1QL scan consistency (section 3.2.3).
+
+``not_bounded`` "returns the query with the lowest latency";
+``request_plus`` "executes with higher latencies than the other levels"
+because it first waits for the indexer to process every mutation that
+existed at request time.  This bench issues each query with a backlog of
+un-indexed mutations in front of it and measures the difference.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import Cluster
+
+results = {}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=32)
+    cluster.create_bucket("b")
+    client = cluster.connect()
+    for i in range(200):
+        client.upsert("b", f"k{i:04d}", {"age": i % 40})
+    cluster.run_until_idle()
+    cluster.query("CREATE INDEX by_age ON b(age) USING GSI")
+    cluster._bench_client = client
+    return cluster
+
+
+def _with_backlog(cluster, consistency):
+    """One query with 40 fresh (unindexed) mutations in front of it."""
+    client = cluster._bench_client
+    def op():
+        for i in range(40):
+            client.upsert("b", f"hot{i}", {"age": i % 40})
+        return cluster.query(
+            "SELECT meta(b).id FROM b WHERE b.age = 7",
+            scan_consistency=consistency,
+        ).rows
+    return op
+
+
+@pytest.mark.benchmark(group="scan-consistency")
+def test_not_bounded(cluster, benchmark):
+    benchmark(_with_backlog(cluster, "not_bounded"))
+    results["not_bounded"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="scan-consistency")
+def test_request_plus(cluster, benchmark):
+    benchmark(_with_backlog(cluster, "request_plus"))
+    results["request_plus"] = benchmark.stats.stats.mean
+    _report_and_assert()
+
+
+def _report_and_assert():
+    rows = [(name, f"{value * 1e3:.3f} ms") for name, value in results.items()]
+    print_series(
+        "Ablation: scan_consistency latency under a write backlog",
+        ("consistency", "mean latency"),
+        rows,
+    )
+    # request_plus pays for the consistency barrier.
+    assert results["request_plus"] > results["not_bounded"]

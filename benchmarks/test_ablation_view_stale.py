@@ -1,0 +1,79 @@
+"""Ablation -- view staleness (section 3.1.2).
+
+Views are eventually consistent; the ``stale`` parameter trades
+freshness for latency: ``ok`` returns whatever is indexed, ``false``
+first waits for the view indexer to catch up to the current document
+set.  Same experiment shape as the GSI consistency ablation, on the
+view engine.
+"""
+
+import pytest
+from conftest import print_series
+
+from repro import Cluster
+from repro.views import ViewDefinition, ViewQueryParams
+
+results = {}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=32)
+    cluster.create_bucket("b")
+    client = cluster.connect()
+    for i in range(200):
+        client.upsert("b", f"k{i:04d}", {"age": i % 40})
+    cluster.run_until_idle()
+
+    def by_age(doc, meta, emit):
+        if "age" in doc:
+            emit(doc["age"], None)
+
+    cluster.define_view("b", ViewDefinition("dd", "by_age", by_age, "_count"))
+    cluster._bench_client = client
+    return cluster
+
+
+def _query_op(cluster, stale):
+    client = cluster._bench_client
+
+    def op():
+        for i in range(40):
+            client.upsert("b", f"hot{i}", {"age": i % 40})
+        return cluster.views.query(
+            "b", "dd", "by_age",
+            ViewQueryParams(stale=stale, reduce=False, key=7),
+        )
+
+    return op
+
+
+@pytest.mark.benchmark(group="view-stale")
+def test_stale_ok(cluster, benchmark):
+    benchmark(_query_op(cluster, "ok"))
+    results["ok"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="view-stale")
+def test_stale_update_after(cluster, benchmark):
+    benchmark(_query_op(cluster, "update_after"))
+    results["update_after"] = benchmark.stats.stats.mean
+
+
+@pytest.mark.benchmark(group="view-stale")
+def test_stale_false(cluster, benchmark):
+    benchmark(_query_op(cluster, "false"))
+    results["false"] = benchmark.stats.stats.mean
+    _report_and_assert()
+
+
+def _report_and_assert():
+    rows = [(f"stale={name}", f"{value * 1e3:.3f} ms")
+            for name, value in results.items()]
+    print_series(
+        "Ablation: view query latency by stale= parameter",
+        ("setting", "mean latency"),
+        rows,
+    )
+    # stale=false pays for index convergence; ok/update_after do not.
+    assert results["false"] > results["ok"]

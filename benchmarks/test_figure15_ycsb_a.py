@@ -1,0 +1,54 @@
+"""Figure 15 -- YCSB workload A throughput (ops/sec) vs client threads.
+
+Paper setup (appendix 10.1.1): 4-node cluster, data+index+query services
+on every node, 10 M documents, 4 YCSB clients sweeping 12..32 threads
+each (48..128 total).  Reported result: ~178K ops/sec at 128 threads,
+with the curve rising with offered concurrency and flattening as the
+cluster saturates.
+
+Here: pytest-benchmark measures the real mixed read/update operation
+through the full stack, and the closed-loop MVA model turns that
+service time into the thread sweep.  Expected shape: monotone rise,
+saturation at the high end, throughput in the tens-to-hundreds of
+thousands of ops/sec.
+"""
+
+from conftest import THREAD_SWEEP, print_series
+
+from repro.ycsb.runner import ClusterModel, sweep_threads
+
+#: What the paper's Figure 15 shows at the sweep endpoints (approximate,
+#: read off the plot).
+PAPER_SERIES = {48: 110_000, 128: 178_000}
+
+
+def test_figure15_throughput_vs_threads(ycsb_a_cluster, benchmark):
+    cluster, client = ycsb_a_cluster
+
+    benchmark.group = "figure15"
+    benchmark.name = "ycsb-a mixed op (50% read / 50% update)"
+    benchmark(client.run_one)
+
+    service_time = benchmark.stats.stats.mean
+    model = ClusterModel(nodes=4)
+    points = sweep_threads(service_time, THREAD_SWEEP, model)
+
+    rows = []
+    for point in points:
+        paper = PAPER_SERIES.get(point.threads, "")
+        rows.append((point.threads, f"{point.throughput:,.0f}",
+                     f"{paper:,}" if paper else "-"))
+    print_series(
+        "Figure 15: YCSB-A throughput (ops/sec) vs total client threads",
+        ("threads", "modeled ops/sec", "paper ops/sec"),
+        rows,
+    )
+    print(f"measured per-op service time: {service_time * 1e6:.1f} us")
+
+    # Shape assertions: monotone-nondecreasing rise and eventual
+    # saturation (the last step adds little).
+    throughputs = [p.throughput for p in points]
+    assert all(b >= a * 0.999 for a, b in zip(throughputs, throughputs[1:]))
+    assert throughputs[-1] > throughputs[0]
+    capacity = model.effective_servers / service_time
+    assert throughputs[-1] <= capacity * 1.001

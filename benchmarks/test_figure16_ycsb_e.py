@@ -1,0 +1,97 @@
+"""Figure 16 -- YCSB workload E range-query throughput (queries/sec) vs
+client threads.
+
+Paper setup (appendix 10.1.2): same 4-node cluster; short ranges of
+documents are queried via N1QL instead of individual KV operations,
+using exactly::
+
+    SELECT meta().id AS id FROM `bucket` WHERE meta().id >= $1 LIMIT $2
+
+Reported result: ~5,400 queries/sec at 128 client threads -- roughly 33x
+below the KV throughput of Figure 15, because each query runs the whole
+parse/plan/index-scan pipeline.
+
+Here: pytest-benchmark measures the real N1QL scan through parse ->
+plan -> primary-index range scan, and the MVA model produces the sweep.
+Expected shape: rise-then-flat, and *much* lower than Figure 15.
+"""
+
+from conftest import THREAD_SWEEP, print_series
+
+from repro.ycsb.runner import ClusterModel, sweep_threads
+
+PAPER_SERIES = {48: 4_500, 128: 5_400}
+
+
+def test_figure16_query_throughput_vs_threads(ycsb_e_cluster, benchmark):
+    cluster, client = ycsb_e_cluster
+    workload = client.workload
+
+    operations = iter(lambda: workload.next_operation(), None)
+
+    def scan_op():
+        op = workload.next_operation()
+        while op.kind != "scan":
+            op = workload.next_operation()
+        client._scan(op.key, op.scan_length)
+
+    benchmark.group = "figure16"
+    benchmark.name = "ycsb-e N1QL range query"
+    benchmark(scan_op)
+
+    service_time = benchmark.stats.stats.mean
+    model = ClusterModel(nodes=4)
+    points = sweep_threads(service_time, THREAD_SWEEP, model)
+
+    rows = []
+    for point in points:
+        paper = PAPER_SERIES.get(point.threads, "")
+        rows.append((point.threads, f"{point.throughput:,.0f}",
+                     f"{paper:,}" if paper else "-"))
+    print_series(
+        "Figure 16: YCSB-E N1QL range-query throughput (q/sec) vs threads",
+        ("threads", "modeled q/sec", "paper q/sec"),
+        rows,
+    )
+    print(f"measured per-query service time: {service_time * 1e3:.2f} ms")
+
+    throughputs = [p.throughput for p in points]
+    assert all(b >= a * 0.999 for a, b in zip(throughputs, throughputs[1:]))
+    # Queries must be far more expensive than KV ops (paper: ~33x lower
+    # throughput); with a pure-Python query pipeline the gap is at least
+    # an order of magnitude.
+    assert service_time > 0.0005
+
+
+def test_figure15_vs_16_gap(ycsb_a_cluster, ycsb_e_cluster, benchmark):
+    """The headline cross-figure claim: KV throughput >> N1QL range-query
+    throughput on identical hardware."""
+    _cluster_a, client_a = ycsb_a_cluster
+    _cluster_e, client_e = ycsb_e_cluster
+
+    import time
+
+    def measure(fn, n):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n
+
+    kv_time = measure(client_a.run_one, 150)
+
+    def scan_once():
+        op = client_e.workload.next_operation()
+        while op.kind != "scan":
+            op = client_e.workload.next_operation()
+        client_e._scan(op.key, op.scan_length)
+
+    benchmark.group = "figure15-vs-16"
+    benchmark.name = "kv-vs-query gap"
+    benchmark(scan_once)
+    query_time = benchmark.stats.stats.mean
+
+    gap = query_time / kv_time
+    print(f"\nKV op: {kv_time * 1e6:.1f} us   "
+          f"N1QL range query: {query_time * 1e3:.2f} ms   "
+          f"gap: {gap:.0f}x (paper: ~33x)")
+    assert gap > 10, "N1QL range queries must be much slower than KV ops"

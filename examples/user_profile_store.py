@@ -1,0 +1,126 @@
+"""A population-scale user-profile store.
+
+The paper's introduction motivates the system with exactly this
+workload: "applications like user profile stores" with sub-millisecond
+latency expectations, hundreds of thousands of operations per second,
+and per-operation durability choices.  This example shows the patterns
+such an application uses:
+
+* optimistic locking with CAS (the section 3.1.1 retry loop),
+* pessimistic get-and-lock for the rare must-win update,
+* per-mutation durability (replicate before acking a password change),
+* TTL'd session documents, and
+* a N1QL secondary-index lookup for the admin path.
+
+Run:  python examples/user_profile_store.py
+"""
+
+from repro import Cluster
+from repro.common.errors import CasMismatchError, DocumentLockedError
+
+
+def make_cluster() -> Cluster:
+    cluster = Cluster(nodes=3, vbuckets=64)
+    cluster.create_bucket("profiles", replicas=1)
+    return cluster
+
+
+def optimistic_update(client, key: str, mutate) -> None:
+    """The CAS retry loop the paper walks through in section 3.1.1."""
+    while True:
+        doc = client.get("profiles", key)
+        new_value = mutate(dict(doc.value))
+        try:
+            client.upsert("profiles", key, new_value, cas=doc.meta.cas)
+            return
+        except CasMismatchError:
+            continue  # someone got there first; re-read and retry
+
+
+def main() -> None:
+    cluster = make_cluster()
+    client = cluster.connect()
+
+    # Seed some profiles.
+    for i in range(50):
+        client.upsert("profiles", f"user::{i:04d}", {
+            "type": "profile",
+            "name": f"member{i:04d}",
+            "email": f"member{i:04d}@example.com",
+            "points": 0,
+            "plan": "free" if i % 3 else "pro",
+        })
+
+    # -- optimistic concurrency under contention ---------------------------------
+    print("== optimistic locking ==")
+    contended = "user::0007"
+    # Two "application servers" race on the same profile; CAS sorts it out.
+    server_a = cluster.connect()
+    server_b = cluster.connect()
+    doc_a = server_a.get("profiles", contended)
+    doc_b = server_b.get("profiles", contended)
+    server_b.upsert("profiles", contended,
+                    dict(doc_b.value, points=10), cas=doc_b.meta.cas)
+    try:
+        server_a.upsert("profiles", contended,
+                        dict(doc_a.value, points=99), cas=doc_a.meta.cas)
+        raise AssertionError("stale CAS must fail")
+    except CasMismatchError:
+        print("server A lost the race (CAS mismatch), retrying...")
+    optimistic_update(server_a, contended,
+                      lambda v: dict(v, points=v["points"] + 5))
+    final = client.get("profiles", contended)
+    print(f"final points: {final.value['points']} (10 from B, +5 from A)")
+    assert final.value["points"] == 15
+
+    # -- pessimistic locking -------------------------------------------------------
+    print("\n== get-and-lock ==")
+    locked = client.get_and_lock("profiles", "user::0001", lock_time=10.0)
+    try:
+        cluster.connect().upsert("profiles", "user::0001", {"x": 1})
+        raise AssertionError("locked doc must reject writers")
+    except DocumentLockedError:
+        print("other writers blocked while the lock is held")
+    client.upsert("profiles", "user::0001",
+                  dict(locked.value, verified=True), cas=locked.meta.cas)
+    print("lock holder updated and released the lock")
+
+    # -- durability choices (section 2.3.2) ------------------------------------------
+    print("\n== per-mutation durability ==")
+    client.upsert("profiles", "user::0002",
+                  dict(client.get("profiles", "user::0002").value,
+                       password_hash="argon2:..."),
+                  replicate_to=1, persist_to=1)
+    print("password change acknowledged only after 1 replica + 1 disk copy")
+
+    # -- TTL sessions ------------------------------------------------------------------
+    print("\n== sessions with TTL ==")
+    now = cluster.clock.now()
+    client.upsert("profiles", "session::abc",
+                  {"user": "user::0007", "token": "xyz"},
+                  expiry=now + 1800)
+    print("session valid:", client.get("profiles", "session::abc").value["user"])
+    cluster.tick(3600)  # half an hour passes twice
+    from repro.common.errors import KeyNotFoundError
+    try:
+        client.get("profiles", "session::abc")
+        raise AssertionError("session should have expired")
+    except KeyNotFoundError:
+        print("session expired after its TTL")
+
+    # -- the admin path: N1QL over a secondary index -----------------------------------
+    print("\n== admin lookups via N1QL ==")
+    cluster.query("CREATE INDEX by_plan ON profiles(plan, name) USING GSI")
+    rows = cluster.query(
+        "SELECT p.name FROM profiles p WHERE p.plan = 'pro' "
+        "ORDER BY p.name LIMIT 5",
+        scan_consistency="request_plus",
+    ).rows
+    print(f"first pro members: {[r['name'] for r in rows]}")
+    assert len(rows) == 5
+
+    print("\nuser_profile_store OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Cross-datacenter replication (XDCR).
+
+Section 4.6: replicate active data between geographically distant
+clusters "either for disaster recovery or to bring data closer to
+users".  This example runs two clusters -- "us-east" and "eu-west" with
+deliberately different sizes and partition counts -- and demonstrates:
+
+* unidirectional replication for disaster recovery,
+* bidirectional replication with deterministic conflict resolution
+  (section 4.6.1: most updates wins, same winner on both sides),
+* filtered replication by key prefix, and
+* continued replication through a target-cluster failover (topology
+  awareness).
+
+Run:  python examples/xdcr_geo_replication.py
+"""
+
+from repro import Cluster
+from repro.common.errors import KeyNotFoundError
+from repro.xdcr import XdcrReplication, settle
+
+
+def main() -> None:
+    us_east = Cluster(nodes=3, vbuckets=64)
+    eu_west = Cluster(nodes=2, vbuckets=32)  # different topology on purpose
+    us_east.create_bucket("users", replicas=1)
+    eu_west.create_bucket("users", replicas=1)
+    us = us_east.connect()
+    eu = eu_west.connect()
+
+    # -- disaster recovery: one-way replication ------------------------------------
+    print("== unidirectional XDCR (disaster recovery) ==")
+    east_to_west = XdcrReplication(us_east, eu_west, "users")
+    for i in range(100):
+        us.upsert("users", f"user::{i:04d}", {"home": "us", "n": i})
+    settle(us_east, eu_west)
+    assert eu.get("users", "user::0042").value["n"] == 42
+    print("  100 documents replicated us-east -> eu-west "
+          f"(sent={east_to_west.docs_sent})")
+
+    # -- go active-active ---------------------------------------------------------------
+    print("\n== bidirectional XDCR with a concurrent conflict ==")
+    XdcrReplication(eu_west, us_east, "users")
+    # The same profile is edited on both continents before replication
+    # catches up; the copy with more updates must win everywhere.
+    us.upsert("users", "user::0007", {"home": "us", "nickname": "east-1"})
+    us.upsert("users", "user::0007", {"home": "us", "nickname": "east-2"})
+    eu.upsert("users", "user::0007", {"home": "us", "nickname": "west-1"})
+    settle(us_east, eu_west)
+    east_view = us.get("users", "user::0007").value
+    west_view = eu.get("users", "user::0007").value
+    print(f"  us-east sees {east_view['nickname']!r}, "
+          f"eu-west sees {west_view['nickname']!r}")
+    assert east_view == west_view == {"home": "us", "nickname": "east-2"}
+    print("  both clusters picked the same winner (most updates)")
+
+    # -- filtered replication --------------------------------------------------------------
+    print("\n== filtered replication (only eu:: keys go west) ==")
+    us_east.create_bucket("events", replicas=0)
+    eu_west.create_bucket("events", replicas=0)
+    filtered = XdcrReplication(us_east, eu_west, "events",
+                               filter_pattern=r"^eu::")
+    us2 = us_east.connect()
+    us2.upsert("events", "eu::login::1", {"region": "eu"})
+    us2.upsert("events", "us::login::1", {"region": "us"})
+    settle(us_east, eu_west)
+    eu2 = eu_west.connect()
+    assert eu2.get("events", "eu::login::1").value["region"] == "eu"
+    try:
+        eu2.get("events", "us::login::1")
+        raise AssertionError("us:: keys must not replicate")
+    except KeyNotFoundError:
+        pass
+    print(f"  replicated eu:: keys only "
+          f"(filtered out: {filtered.docs_filtered})")
+
+    # -- topology awareness ---------------------------------------------------------------
+    print("\n== replication through a target failover ==")
+    eu_west.failover("node2")
+    for i in range(100, 150):
+        us.upsert("users", f"user::{i:04d}", {"home": "us", "n": i})
+    settle(us_east, eu_west)
+    assert eu.get("users", "user::0149").value["n"] == 149
+    print("  us-east kept replicating to the surviving eu-west node")
+
+    print("\nxdcr_geo_replication OK")
+
+
+if __name__ == "__main__":
+    main()

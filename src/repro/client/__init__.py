@@ -1,0 +1,5 @@
+"""Client SDK: the smart client with cluster-map routing (section 3.1)."""
+
+from .smart_client import SmartClient
+
+__all__ = ["SmartClient"]

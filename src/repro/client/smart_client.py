@@ -1,0 +1,204 @@
+"""The smart client.
+
+Section 4.1: "Applications can use Couchbase's smart clients, which
+contain a copy of the cluster map ... a client applies a hash function
+(CRC32) to every document that needs to be stored, and the document can
+then be sent directly from the client to the server where it should
+reside."
+
+The client caches the cluster map per bucket, routes every key-value
+operation straight to the active node for the key's vBucket, and on a
+NOT_MY_VBUCKET or connection failure refreshes the map from the cluster
+manager and retries -- the standard smart-client dance during rebalance
+and failover.
+
+Durability options on mutations (``replicate_to`` / ``persist_to``) ride
+on the observe machinery of :mod:`repro.replication.durability`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from ..common.document import Document
+from ..common.errors import (
+    BucketNotFoundError,
+    NodeDownError,
+    NotMyVBucketError,
+    TemporaryFailureError,
+)
+from ..common.jsonval import JsonValue
+from ..common.scheduler import Scheduler
+from ..common.transport import Network
+from ..kv.engine import MutationResult
+from ..replication.durability import DurabilityMonitor, DurabilityRequirement
+
+_client_ids = itertools.count(1)
+
+
+class SmartClient:
+    """A connected application client (the SDK of section 3.1)."""
+
+    MAX_RETRIES = 8
+
+    def __init__(self, manager, network: Network, scheduler: Scheduler):
+        self.manager = manager
+        self.network = network
+        self.scheduler = scheduler
+        self.name = f"client{next(_client_ids)}"
+        self._maps: dict[str, Any] = {}
+        self._durability = DurabilityMonitor(network, scheduler, self.name)
+
+    # -- cluster map handling ----------------------------------------------------
+
+    def _map(self, bucket: str):
+        cached = self._maps.get(bucket)
+        if cached is None:
+            return self._refresh_map(bucket)
+        return cached
+
+    def _refresh_map(self, bucket: str):
+        cluster_map = self.manager.cluster_maps.get(bucket)
+        if cluster_map is None:
+            raise BucketNotFoundError(bucket)
+        self._maps[bucket] = cluster_map
+        return cluster_map
+
+    def _call(self, bucket: str, key: str, method: str, *args) -> Any:
+        """Route one KV op to the key's active node, with map-refresh
+        retries on topology errors."""
+        last_error: Exception | None = None
+        for attempt in range(self.MAX_RETRIES):
+            cluster_map = self._map(bucket)
+            vbucket_id = cluster_map.vbucket_for_key(key)
+            node = cluster_map.active_node(vbucket_id)
+            if node is None:
+                last_error = NodeDownError(f"vbucket {vbucket_id} unassigned")
+            else:
+                try:
+                    return self.network.call(
+                        self.name, node, method, bucket, vbucket_id, key, *args
+                    )
+                except (NotMyVBucketError, NodeDownError) as error:
+                    last_error = error
+                except TemporaryFailureError as error:
+                    last_error = error
+                    # Give the flusher/pager a chance, then retry.
+                    self.scheduler.run_until_idle()
+                    continue
+            # Topology changed under us: let the manager react (failure
+            # detection, pushes), refresh, retry.
+            self.scheduler.run_until_idle()
+            self._refresh_map(bucket)
+        raise last_error  # type: ignore[misc]
+
+    # -- key-value API (section 3.1.1) ------------------------------------------------
+
+    def get(self, bucket: str, key: str) -> Document:
+        """Read a document by primary key (routed to the active node)."""
+        return self._call(bucket, key, "kv_get")
+
+    def upsert(self, bucket: str, key: str, value: JsonValue, *,
+               cas: int = 0, expiry: float = 0.0, flags: int = 0,
+               replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
+        """Create or replace a document (memcached SET), optionally
+        CAS-guarded and with per-mutation durability (section 2.3.2)."""
+        result = self._call(bucket, key, "kv_upsert", value, cas, expiry, flags)
+        self._wait_durable(bucket, key, result, replicate_to, persist_to)
+        return result
+
+    def insert(self, bucket: str, key: str, value: JsonValue, *,
+               expiry: float = 0.0, flags: int = 0,
+               replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
+        """Create a document; fails if the key exists (memcached ADD)."""
+        result = self._call(bucket, key, "kv_insert", value, expiry, flags)
+        self._wait_durable(bucket, key, result, replicate_to, persist_to)
+        return result
+
+    def replace(self, bucket: str, key: str, value: JsonValue, *,
+                cas: int = 0, expiry: float = 0.0, flags: int = 0,
+                replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
+        """Replace an existing document; fails if the key is absent."""
+        result = self._call(bucket, key, "kv_replace", value, cas, expiry, flags)
+        self._wait_durable(bucket, key, result, replicate_to, persist_to)
+        return result
+
+    def remove(self, bucket: str, key: str, *, cas: int = 0,
+               replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
+        """Delete a document (a tombstone mutation that flows through
+        DCP like any other write)."""
+        result = self._call(bucket, key, "kv_delete", cas)
+        self._wait_durable(bucket, key, result, replicate_to, persist_to)
+        return result
+
+    def touch(self, bucket: str, key: str, expiry: float) -> MutationResult:
+        """Update a document's TTL without changing its value."""
+        return self._call(bucket, key, "kv_touch", expiry)
+
+    def get_and_lock(self, bucket: str, key: str,
+                     lock_time: float | None = None) -> Document:
+        """Read and pessimistically lock a document (section 3.1.1); the
+        returned CAS is the lock token."""
+        return self._call(bucket, key, "kv_get_and_lock", lock_time)
+
+    def unlock(self, bucket: str, key: str, cas: int) -> None:
+        """Release a get-and-lock hold using its lock CAS."""
+        self._call(bucket, key, "kv_unlock", cas)
+
+    def counter(self, bucket: str, key: str, delta: int, *,
+                initial: int | None = None) -> tuple[int, MutationResult]:
+        """Atomic increment/decrement of an integer document."""
+        return self._call(bucket, key, "kv_counter", delta, initial)
+
+    # -- sub-document API --------------------------------------------------------------
+
+    def lookup_in(self, bucket: str, key: str, paths: list[str]) -> list:
+        """Fetch selected sub-document paths; one result dict per path."""
+        return self._call(bucket, key, "kv_lookup_in", paths)
+
+    def mutate_in(self, bucket: str, key: str,
+                  operations: list[tuple[str, str, JsonValue]],
+                  *, cas: int = 0) -> MutationResult:
+        """Atomically apply sub-document mutations: (op, path, value)
+        with op in {"set", "unset", "array_append"}."""
+        return self._call(bucket, key, "kv_mutate_in", operations, cas)
+
+    def multi_get(self, bucket: str, keys: list[str]) -> dict[str, Document]:
+        """Batch point lookups (each routed to its own node)."""
+        out = {}
+        for key in keys:
+            from ..common.errors import KeyNotFoundError
+            try:
+                out[key] = self.get(bucket, key)
+            except KeyNotFoundError:
+                continue
+        return out
+
+    # -- N1QL API (section 3.1.3) ---------------------------------------------------------
+
+    def query(self, statement: str, params=None,
+              scan_consistency: str = "not_bounded",
+              consistent_with=None):
+        """Send a N1QL statement to a query-service node."""
+        if getattr(self, "cluster", None) is None:
+            raise RuntimeError("client not connected through a Cluster facade")
+        return self.cluster.query(statement, params,
+                                  scan_consistency=scan_consistency,
+                                  consistent_with=consistent_with)
+
+    # -- view query API (section 3.1.2) -------------------------------------------------
+
+    def view_query(self, bucket: str, design: str, view: str, **params):
+        """Query a view with the REST-style parameters (key, keys,
+        startkey/endkey, stale, group, limit, ...)."""
+        if getattr(self, "cluster", None) is None:
+            raise RuntimeError("client not connected through a Cluster facade")
+        return self.cluster.views.query(bucket, design, view, **params)
+
+    def _wait_durable(self, bucket: str, key: str, result: MutationResult,
+                      replicate_to: int, persist_to: int) -> None:
+        requirement = DurabilityRequirement(replicate_to, persist_to)
+        if requirement.trivial:
+            return
+        self._durability.wait(bucket, key, result, requirement, self._map(bucket))

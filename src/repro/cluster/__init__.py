@@ -1,0 +1,20 @@
+"""Clustering: the vBucket cluster map and planner, nodes, the cluster
+manager (election, failure detection, failover), and the rebalancer
+(sections 4.1, 4.3.1, 4.4)."""
+
+from .cluster_map import DEFAULT_NUM_VBUCKETS, ClusterMap, plan_map
+from .manager import ClusterManager
+from .node import Node
+from .rebalance import Rebalancer
+from .services import BucketConfig, Service
+
+__all__ = [
+    "BucketConfig",
+    "ClusterManager",
+    "ClusterMap",
+    "DEFAULT_NUM_VBUCKETS",
+    "Node",
+    "Rebalancer",
+    "Service",
+    "plan_map",
+]

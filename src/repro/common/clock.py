@@ -1,0 +1,48 @@
+"""Virtual time.
+
+The paper's system is full of time-dependent behaviour: document TTL
+expiry, GETL lock timeouts, heartbeat-based failure detection, and the
+throughput experiments themselves.  Real wall-clock time makes all of
+that nondeterministic and slow to test, so every component takes a
+:class:`Clock` and the cluster wires in a single shared
+:class:`VirtualClock` that tests and benchmarks advance explicitly.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Abstract time source.  ``now()`` returns seconds as a float."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock.
+
+    >>> clock = VirtualClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock.now()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards ({seconds})")
+        self._now += seconds
+
+    def advance_to(self, when: float) -> None:
+        if when < self._now:
+            raise ValueError(
+                f"cannot move time backwards (now={self._now}, target={when})"
+            )
+        self._now = when

@@ -1,0 +1,138 @@
+"""Cooperative scheduler for the cluster's asynchronous machinery.
+
+Section 2.3.2 of the paper: *"Couchbase Server made a design choice to
+update all other components of the database asynchronously when a data
+update occurs."*  The flusher (disk write queue), intra-cluster
+replicator, view engine, GSI projector/indexer, and XDCR are all
+background consumers of work queues.
+
+In the real system those are OS threads; here they are **pumps** -- small
+callables registered with a shared :class:`Scheduler` that each drain a
+bounded batch of their queue when invoked and report whether they did any
+work.  ``run_until_idle()`` repeatedly invokes every pump (in registration
+order, deterministically) until a full round does nothing.  This gives the
+same observable semantics -- writes acknowledge immediately, downstream
+state catches up "later" -- while keeping tests exact and repeatable.
+
+The scheduler also owns timed events (lock timeouts, heartbeats,
+compaction ticks) against the shared :class:`VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from .clock import VirtualClock
+
+Pump = Callable[[], bool]
+
+
+class Scheduler:
+    """Deterministic cooperative scheduler.
+
+    Pumps are callables returning ``True`` if they made progress.  Timers
+    fire when the attached virtual clock is advanced past their deadline
+    via :meth:`advance`.
+    """
+
+    #: Safety valve: ``run_until_idle`` raises if the system fails to
+    #: quiesce after this many full rounds, which indicates a livelock
+    #: (two pumps feeding each other forever).
+    MAX_ROUNDS = 100_000
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self._pumps: list[tuple[str, Pump]] = []
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = itertools.count()
+        self._cancelled: set[int] = set()
+
+    # -- pumps -------------------------------------------------------------
+
+    def register(self, name: str, pump: Pump) -> None:
+        """Register a background pump under a (diagnostic) name."""
+        self._pumps.append((name, pump))
+
+    def unregister(self, name: str) -> None:
+        self._pumps = [(n, p) for n, p in self._pumps if n != name]
+
+    def pump_names(self) -> list[str]:
+        return [name for name, _ in self._pumps]
+
+    def step(self) -> bool:
+        """Run one round of every pump; return True if any did work."""
+        progressed = False
+        # Snapshot: a pump may register/unregister pumps while running.
+        for _name, pump in list(self._pumps):
+            if pump():
+                progressed = True
+        return progressed
+
+    def run_until_idle(self) -> int:
+        """Drive all pumps until a full round makes no progress.
+
+        Returns the number of rounds that did work.  This is the moral
+        equivalent of "wait for all async work to settle" in the real
+        system.
+        """
+        rounds = 0
+        while self.step():
+            rounds += 1
+            if rounds > self.MAX_ROUNDS:
+                raise RuntimeError(
+                    "scheduler livelock: pumps still busy after "
+                    f"{self.MAX_ROUNDS} rounds: {self.pump_names()}"
+                )
+        return rounds
+
+    def run_until(self, condition: Callable[[], bool], max_rounds: int = 100_000) -> bool:
+        """Drive pumps until ``condition()`` holds or the system goes idle.
+
+        Returns True if the condition was met.  Used for blocking waits
+        such as ``stale=false`` view queries and ``request_plus`` scans.
+        """
+        if condition():
+            return True
+        for _ in range(max_rounds):
+            progressed = self.step()
+            if condition():
+                return True
+            if not progressed:
+                return condition()
+        raise RuntimeError("run_until exceeded max_rounds without idling")
+
+    # -- timers ------------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to fire when virtual time reaches ``when``.
+
+        Returns a handle usable with :meth:`cancel`.
+        """
+        handle = next(self._timer_seq)
+        heapq.heappush(self._timers, (when, handle, callback))
+        return handle
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> int:
+        return self.call_at(self.clock.now() + delay, callback)
+
+    def cancel(self, handle: int) -> None:
+        self._cancelled.add(handle)
+
+    def advance(self, seconds: float) -> None:
+        """Advance virtual time, firing due timers in deadline order and
+        letting the pumps settle after each firing."""
+        deadline = self.clock.now() + seconds
+        while self._timers and self._timers[0][0] <= deadline:
+            when, handle, callback = heapq.heappop(self._timers)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self.clock.advance_to(max(when, self.clock.now()))
+            callback()
+            self.run_until_idle()
+        self.clock.advance_to(deadline)
+
+    def pending_timers(self) -> int:
+        return sum(1 for _, h, _ in self._timers if h not in self._cancelled)

@@ -1,0 +1,96 @@
+"""In-process network fabric.
+
+The real cluster is shared-nothing nodes on a LAN; here every node lives
+in one Python process and "RPC" is a method call routed through a
+:class:`Network`.  Routing through a central object buys three things:
+
+* **fault injection** -- nodes can be marked down and node pairs can be
+  partitioned, and every call re-checks reachability, which is what the
+  failure-detection and failover tests exercise (section 4.3.1);
+* **latency accounting** -- every call is charged a configurable virtual
+  latency, used by the YCSB cost model (appendix 10.1); and
+* **observability** -- a per-(service, method) call counter that tests use
+  to assert, e.g., that a key-value get touched exactly one node
+  (section 3.1.1: "only the cluster node hosting the data with that key
+  will be contacted").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from .errors import NodeDownError
+
+
+class Network:
+    """Registry of endpoints plus fault state."""
+
+    def __init__(self, default_latency: float = 0.0):
+        self._endpoints: dict[str, Any] = {}
+        self._down: set[str] = set()
+        self._partitions: set[frozenset[str]] = set()
+        self.default_latency = default_latency
+        self.calls: Counter[tuple[str, str]] = Counter()
+        #: Total virtual seconds of latency charged so far.
+        self.latency_charged = 0.0
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, name: str, endpoint: Any) -> None:
+        self._endpoints[name] = endpoint
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoint(self, name: str) -> Any:
+        """Raw access to an endpoint (bypasses fault simulation); only
+        test code and the cluster bootstrapper should use this."""
+        return self._endpoints[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    # -- fault injection -------------------------------------------------------
+
+    def set_down(self, name: str, down: bool = True) -> None:
+        if down:
+            self._down.add(name)
+        else:
+            self._down.discard(name)
+
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever connectivity between ``a`` and ``b`` (both directions)."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str | None = None, b: str | None = None) -> None:
+        """Heal one partition, or all partitions when called bare."""
+        if a is None:
+            self._partitions.clear()
+        else:
+            self._partitions.discard(frozenset((a, b)))
+
+    def reachable(self, src: str, dst: str) -> bool:
+        if dst in self._down or src in self._down:
+            return False
+        return frozenset((src, dst)) not in self._partitions
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, src: str, dst: str, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``method`` on the endpoint named ``dst`` on behalf of
+        ``src``.  Raises :class:`NodeDownError` if unreachable."""
+        if dst not in self._endpoints:
+            raise NodeDownError(dst)
+        if not self.reachable(src, dst):
+            raise NodeDownError(dst)
+        self.calls[(dst, method)] += 1
+        self.latency_charged += self.default_latency
+        return getattr(self._endpoints[dst], method)(*args, **kwargs)
+
+    def reset_counters(self) -> None:
+        self.calls.clear()
+        self.latency_charged = 0.0

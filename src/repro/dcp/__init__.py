@@ -1,0 +1,15 @@
+"""Database Change Protocol: the in-memory change streams that feed
+replication, view indexing, GSI maintenance, and XDCR (section 4.3.2)."""
+
+from .messages import Deletion, DcpMessage, Mutation, SnapshotMarker, StreamEnd
+from .producer import DcpProducer, DcpStream
+
+__all__ = [
+    "Deletion",
+    "DcpMessage",
+    "DcpProducer",
+    "DcpStream",
+    "Mutation",
+    "SnapshotMarker",
+    "StreamEnd",
+]

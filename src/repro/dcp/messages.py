@@ -1,0 +1,65 @@
+"""Database Change Protocol messages.
+
+Section 4.3.2: DCP "is utilized to keep all of the different components
+in sync and to move data between the components at high speed".  A DCP
+stream for one vBucket carries snapshot markers -- each announcing a
+consistent, de-duplicated seqno window -- followed by the mutations and
+deletions inside that window, in seqno order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.document import Document
+
+
+@dataclass
+class SnapshotMarker:
+    """Announces that the following items form a consistent snapshot of
+    seqnos in [start_seqno, end_seqno].  A consumer that has applied the
+    whole window may persist/advance its state to end_seqno."""
+
+    vbucket_id: int
+    start_seqno: int
+    end_seqno: int
+    #: True when the snapshot was read from disk (backfill) rather than
+    #: from the in-memory change buffer.
+    from_disk: bool = False
+
+
+@dataclass
+class Mutation:
+    vbucket_id: int
+    doc: Document
+
+    @property
+    def seqno(self) -> int:
+        return self.doc.meta.seqno
+
+    @property
+    def key(self) -> str:
+        return self.doc.key
+
+
+@dataclass
+class Deletion:
+    vbucket_id: int
+    doc: Document  # a tombstone: meta.deleted is True, value is None
+
+    @property
+    def seqno(self) -> int:
+        return self.doc.meta.seqno
+
+    @property
+    def key(self) -> str:
+        return self.doc.key
+
+
+@dataclass
+class StreamEnd:
+    vbucket_id: int
+    reason: str  # "ok", "closed", "state_changed"
+
+
+DcpMessage = SnapshotMarker | Mutation | Deletion | StreamEnd

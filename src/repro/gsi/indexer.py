@@ -1,0 +1,114 @@
+"""The local indexer.
+
+Section 4.3.4: "The indexer component processes the changes received
+from the router and manages the on-disk index tree data structure.  It
+also provides the interface for the query client to run index scans."
+
+One :class:`Indexer` lives inside each index-service node.  It hosts
+index *instances* (the storage plus per-vBucket seqno watermarks), takes
+key versions pushed by routers, and serves range scans.  Watermarks are
+what ``request_plus`` consistency waits on: the scan coordinator blocks
+until the indexer has processed every data-service seqno that existed at
+query time (section 4.2: "the query engine will wait until the index is
+updated up to the maximum sequence number for each vBucket").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..common.disk import SimulatedDisk
+from ..common.errors import IndexNotFoundError
+from .indexdef import IndexDefinition
+from .projector import KeyVersion
+from .storage import make_storage
+
+
+class IndexInstance:
+    """One index's rows (or one partition of them) on one index node."""
+
+    def __init__(self, definition: IndexDefinition, disk: SimulatedDisk,
+                 node_name: str):
+        self.definition = definition
+        filename = f"gsi/{definition.bucket}/{definition.name}.index"
+        self.storage = make_storage(definition.storage, disk, filename)
+        #: vbucket -> highest seqno applied (or acknowledged via an empty
+        #: key version).
+        self.watermarks: dict[int, int] = {}
+        self.items_applied = 0
+
+    def apply(self, kv: KeyVersion) -> None:
+        self.storage.update_doc(kv.doc_id, kv.entries)
+        current = self.watermarks.get(kv.vbucket_id, 0)
+        if kv.seqno > current:
+            self.watermarks[kv.vbucket_id] = kv.seqno
+        self.items_applied += 1
+
+    def set_watermarks(self, marks: dict[int, int]) -> None:
+        for vbucket_id, seqno in marks.items():
+            if seqno > self.watermarks.get(vbucket_id, 0):
+                self.watermarks[vbucket_id] = seqno
+
+    def caught_up_to(self, marks: dict[int, int]) -> bool:
+        return all(
+            self.watermarks.get(vbucket_id, 0) >= seqno
+            for vbucket_id, seqno in marks.items()
+        )
+
+
+class Indexer:
+    """Index hosting + scan serving for one index-service node."""
+
+    def __init__(self, node):
+        self.node = node
+        self.instances: dict[str, IndexInstance] = {}
+
+    def create(self, definition: IndexDefinition) -> IndexInstance:
+        if definition.name in self.instances:
+            raise ValueError(f"index instance exists: {definition.name}")
+        instance = IndexInstance(definition, self.node.disk, self.node.name)
+        self.instances[definition.name] = instance
+        self.node.metrics.inc("gsi.indexes_hosted")
+        return instance
+
+    def drop(self, name: str) -> None:
+        self.instances.pop(name, None)
+
+    def instance(self, name: str) -> IndexInstance:
+        instance = self.instances.get(name)
+        if instance is None:
+            raise IndexNotFoundError(name)
+        return instance
+
+    # -- RPC surface -----------------------------------------------------------------
+
+    def apply(self, kv: KeyVersion) -> None:
+        instance = self.instances.get(kv.index_name)
+        if instance is not None:
+            instance.apply(kv)
+
+    def scan(self, name: str, low: list | None, high: list | None,
+             inclusive_low: bool = True, inclusive_high: bool = True,
+             descending: bool = False,
+             limit: int | None = None) -> list[tuple[list, str]]:
+        """Range scan; returns [(key_components, doc_id), ...] sorted.
+
+        An index "simply returns the document ID for each attribute match
+        found" (section 4.5.1) -- plus the key components themselves,
+        which is what makes covering indexes (section 5.1.2) possible."""
+        instance = self.instance(name)
+        rows = []
+        for key_components, doc_id in instance.storage.scan(
+            low, high, inclusive_low, inclusive_high, descending,
+        ):
+            rows.append((key_components, doc_id))
+            if limit is not None and len(rows) >= limit:
+                break
+        self.node.metrics.inc("gsi.scans")
+        return rows
+
+    def watermarks(self, name: str) -> dict[int, int]:
+        return dict(self.instance(name).watermarks)
+
+    def count(self, name: str) -> int:
+        return self.instance(name).storage.count()

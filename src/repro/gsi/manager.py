@@ -1,0 +1,331 @@
+"""The index service and the cluster-wide index manager.
+
+Section 4.3.4: "The Index Manager resides within the indexing service
+and is responsible for receiving requests for indexing operations (e.g.,
+creation, deletion, maintenance, scan, lookup)."
+
+Three pieces live here:
+
+* :class:`IndexRegistry` -- the cluster-wide index metadata (name ->
+  definition, hosting nodes, state), held by the cluster manager and
+  consulted by projectors/routers on every mutation and by the N1QL
+  planner at plan time.
+* :class:`IndexService` -- the per-node service wrapper exposing the
+  indexer's RPC surface (``gsi_apply``, ``gsi_scan``, ...).
+* :class:`GsiCoordinator` -- cluster-level DDL (create/build/drop with
+  placement), scan fan-out for partitioned indexes, and the
+  ``request_plus`` consistency barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import (
+    IndexExistsError,
+    IndexNotFoundError,
+    IndexNotReadyError,
+    NodeDownError,
+    ServiceUnavailableError,
+    TimeoutError_,
+)
+from ..kv.engine import VBucketState
+from .indexdef import IndexDefinition
+from .indexer import Indexer
+from .projector import KeyVersion, Router
+from .storage import HIGH_BOUND, composite_compare
+
+
+@dataclass
+class IndexMeta:
+    definition: IndexDefinition
+    #: Hosting index nodes; one entry per partition for partitioned
+    #: indexes (entries may repeat when partitions share a node).
+    nodes: list[str]
+    #: "ready" | "deferred" | "building"
+    state: str = "ready"
+
+    def describe(self) -> dict:
+        info = self.definition.describe()
+        info["nodes"] = list(dict.fromkeys(self.nodes))
+        info["state"] = self.state
+        return info
+
+
+class IndexRegistry:
+    """Cluster-wide index metadata."""
+
+    def __init__(self):
+        self._by_name: dict[str, IndexMeta] = {}
+
+    def add(self, meta: IndexMeta) -> None:
+        if meta.definition.name in self._by_name:
+            raise IndexExistsError(meta.definition.name)
+        self._by_name[meta.definition.name] = meta
+
+    def remove(self, name: str) -> IndexMeta:
+        if name not in self._by_name:
+            raise IndexNotFoundError(name)
+        return self._by_name.pop(name)
+
+    def get(self, name: str) -> IndexMeta | None:
+        return self._by_name.get(name)
+
+    def require(self, name: str) -> IndexMeta:
+        meta = self._by_name.get(name)
+        if meta is None:
+            raise IndexNotFoundError(name)
+        return meta
+
+    def indexes_on(self, bucket: str) -> list[IndexMeta]:
+        return [
+            meta for meta in self._by_name.values()
+            if meta.definition.bucket == bucket
+        ]
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+
+class IndexService:
+    """Per-node index service (attached when the node runs INDEX)."""
+
+    def __init__(self, node, network, scheduler):
+        self.node = node
+        self.network = network
+        self.scheduler = scheduler
+        self.indexer = Indexer(node)
+        # Expose the RPC surface on the node object itself so the network
+        # fabric can dispatch to it.
+        node.gsi_apply = self.indexer.apply
+        node.gsi_scan = self.indexer.scan
+        node.gsi_watermarks = self.indexer.watermarks
+        node.gsi_count = self.indexer.count
+        node.gsi_create_local = self.indexer.create
+        node.gsi_drop_local = self.indexer.drop
+
+
+class GsiCoordinator:
+    """Cluster-level GSI DDL and scans (what the query service calls)."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    @property
+    def registry(self) -> IndexRegistry:
+        return self.cluster.manager.index_registry
+
+    def _index_nodes(self) -> list[str]:
+        from ..cluster.services import Service
+        names = self.cluster.manager.nodes_with_service(Service.INDEX)
+        live = [n for n in names if not self.cluster.network.is_down(n)]
+        if not live:
+            raise ServiceUnavailableError("index")
+        return live
+
+    # -- DDL ----------------------------------------------------------------------
+
+    def create_index(self, definition: IndexDefinition,
+                     nodes: list[str] | None = None) -> IndexMeta:
+        """Create (and unless deferred, build) an index.
+
+        Placement: explicit ``nodes``, else the least-loaded index node;
+        partitioned indexes stripe partitions across index nodes."""
+        if self.registry.get(definition.name) is not None:
+            raise IndexExistsError(definition.name)
+        available = self._index_nodes()
+        if nodes is None:
+            by_load = sorted(
+                available,
+                key=lambda n: (
+                    len(self.cluster.node(n).indexer.indexer.instances), n
+                ),
+            )
+            if definition.num_partitions == 1:
+                nodes = [by_load[0]]
+            else:
+                nodes = [
+                    by_load[i % len(by_load)]
+                    for i in range(definition.num_partitions)
+                ]
+        meta = IndexMeta(
+            definition=definition,
+            nodes=nodes,
+            state="deferred" if definition.deferred else "building",
+        )
+        for node_name in dict.fromkeys(nodes):
+            self.cluster.network.call(
+                "gsi-coordinator", node_name, "gsi_create_local", definition
+            )
+        self.registry.add(meta)
+        if not definition.deferred:
+            self._build(meta)
+        return meta
+
+    def build_index(self, name: str) -> None:
+        """BUILD INDEX for a deferred index (defer_build, section 3.3.3)."""
+        meta = self.registry.require(name)
+        if meta.state == "ready":
+            return
+        self._build(meta)
+
+    def _build(self, meta: IndexMeta) -> None:
+        """Initial materialization: snapshot-scan every active vBucket on
+        every data node, route entries to the hosting indexer(s), then
+        install watermarks at the snapshot seqnos."""
+        definition = meta.definition
+        manager = self.cluster.manager
+        meta.state = "ready"  # the router only routes for ready indexes
+        marks: dict[int, int] = {}
+        for node_name in manager.data_nodes():
+            node = manager.nodes[node_name]
+            engine = node.engines.get(definition.bucket)
+            if engine is None:
+                continue
+            router = Router(node, manager.index_registry, self.cluster.network)
+            for vbucket_id in engine.owned_vbuckets(VBucketState.ACTIVE):
+                for doc in engine.docs_in_vbucket(vbucket_id):
+                    entries = definition.entries_for(doc.value, doc.key)
+                    if entries:
+                        router.route(KeyVersion(
+                            index_name=definition.name,
+                            bucket=definition.bucket,
+                            doc_id=doc.key,
+                            entries=entries,
+                            vbucket_id=vbucket_id,
+                            seqno=doc.meta.seqno,
+                        ))
+                marks[vbucket_id] = engine.vbuckets[vbucket_id].high_seqno
+        for node_name in dict.fromkeys(meta.nodes):
+            instance = self.cluster.node(node_name).indexer.indexer.instance(
+                definition.name
+            )
+            instance.set_watermarks(marks)
+        self.cluster.run_until_idle()
+
+    def drop_index(self, name: str) -> None:
+        meta = self.registry.remove(name)
+        for node_name in dict.fromkeys(meta.nodes):
+            try:
+                self.cluster.network.call(
+                    "gsi-coordinator", node_name, "gsi_drop_local", name
+                )
+            except NodeDownError:
+                continue
+
+    def list_indexes(self, bucket: str | None = None) -> list[dict]:
+        metas = (
+            self.registry.indexes_on(bucket)
+            if bucket is not None
+            else [self.registry.require(n) for n in self.registry.names()]
+        )
+        return [meta.describe() for meta in metas]
+
+    # -- scans ---------------------------------------------------------------------------
+
+    def scan(
+        self,
+        name: str,
+        low: list | None = None,
+        high: list | None = None,
+        *,
+        inclusive_low: bool = True,
+        inclusive_high: bool = True,
+        descending: bool = False,
+        limit: int | None = None,
+        consistency: str = "not_bounded",
+        mutation_tokens: list | None = None,
+    ) -> list[tuple[list, str]]:
+        """Cluster-level index scan: consistency barrier, partition
+        fan-out, ordered merge.
+
+        Consistency levels (section 3.2.3 plus the 4.5-era at_plus):
+        ``not_bounded`` scans immediately; ``request_plus`` waits for
+        every mutation that existed at request time; ``at_plus`` waits
+        only for the caller's own ``mutation_tokens`` -- the cheap
+        read-your-own-writes option."""
+        meta = self.registry.require(name)
+        if meta.state != "ready":
+            raise IndexNotReadyError(name)
+        arity = len(meta.definition.key_sources)
+        if high is not None and inclusive_high and len(high) < arity:
+            # Prefix upper bound: pad with a past-everything sentinel so
+            # composite entries sharing the prefix are included.
+            high = list(high) + [HIGH_BOUND] * (arity - len(high))
+        if consistency == "request_plus":
+            self._barrier(meta, self._current_seqnos(meta.definition.bucket))
+        elif consistency == "at_plus":
+            marks: dict[int, int] = {}
+            for token in mutation_tokens or []:
+                current = marks.get(token.vbucket_id, 0)
+                marks[token.vbucket_id] = max(current, token.seqno)
+            self._barrier(meta, marks)
+        elif consistency != "not_bounded":
+            raise ValueError(f"unknown scan consistency {consistency!r}")
+
+        partials = []
+        for node_name in dict.fromkeys(meta.nodes):
+            try:
+                rows = self.cluster.network.call(
+                    "gsi-coordinator", node_name, "gsi_scan", name,
+                    low, high, inclusive_low, inclusive_high, descending,
+                    limit,
+                )
+            except NodeDownError:
+                continue
+            partials.append(rows)
+        if len(partials) == 1:
+            merged = list(partials[0])
+        else:
+            merged = [row for partial in partials for row in partial]
+            import functools
+            merged.sort(
+                key=functools.cmp_to_key(
+                    lambda a, b: composite_compare([a[0], a[1]], [b[0], b[1]])
+                ),
+                reverse=descending,
+            )
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def _barrier(self, meta: IndexMeta, marks: dict[int, int]) -> None:
+        """Wait until the index has processed the given seqno marks."""
+        if not marks:
+            return
+
+        def satisfied() -> bool:
+            for vb, seqno in marks.items():
+                best = 0
+                for node_name in dict.fromkeys(meta.nodes):
+                    try:
+                        watermarks = self.cluster.network.call(
+                            "gsi-coordinator", node_name,
+                            "gsi_watermarks", meta.definition.name,
+                        )
+                    except NodeDownError:
+                        continue
+                    best = max(best, watermarks.get(vb, 0))
+                if best < seqno:
+                    return False
+            return True
+
+        if not self.cluster.scheduler.run_until(satisfied):
+            raise TimeoutError_(
+                f"request_plus barrier for index {meta.definition.name!r} "
+                f"did not converge"
+            )
+
+    def _current_seqnos(self, bucket: str) -> dict[int, int]:
+        manager = self.cluster.manager
+        marks: dict[int, int] = {}
+        for node_name in manager.data_nodes():
+            node = manager.nodes[node_name]
+            if self.cluster.network.is_down(node_name):
+                continue
+            engine = node.engines.get(bucket)
+            if engine is None:
+                continue
+            for vbucket_id in engine.owned_vbuckets(VBucketState.ACTIVE):
+                marks[vbucket_id] = engine.vbuckets[vbucket_id].high_seqno
+        return marks

@@ -1,0 +1,23 @@
+"""The data service's key-value core: per-vBucket hash tables, the
+object-managed cache with value/full eviction, CAS and hard locks,
+asynchronous persistence via the flusher, and the per-vBucket change
+buffers that feed DCP (sections 3.1.1 and 4.3.3)."""
+
+from .engine import (
+    KVEngine,
+    MutationResult,
+    ObserveResult,
+    VBucket,
+    VBucketState,
+)
+from .hashtable import CacheEntry, HashTable
+
+__all__ = [
+    "CacheEntry",
+    "HashTable",
+    "KVEngine",
+    "MutationResult",
+    "ObserveResult",
+    "VBucket",
+    "VBucketState",
+]

@@ -1,0 +1,86 @@
+"""The query catalog.
+
+Section 4.3.5: "This Query Service component provides catalog support
+for the Query Service", covering keyspaces and index metadata.  The
+planner asks it which access paths exist for a keyspace: GSI indexes
+(from the cluster-wide index registry) and view-backed indexes (from
+the design-document registry entries that CREATE INDEX ... USING VIEW
+produced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import N1qlSemanticError
+
+
+@dataclass
+class ViewIndexInfo:
+    """Metadata for a CREATE INDEX ... USING VIEW index."""
+
+    name: str
+    bucket: str
+    attribute: str      # dotted path the view emits
+    design: str
+    view: str
+    is_primary: bool = False
+
+
+class Catalog:
+    """Planner-facing metadata access."""
+
+    #: Design doc that holds the N1QL-created views.
+    N1QL_DESIGN = "_n1ql"
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        #: name -> ViewIndexInfo for USING VIEW indexes.
+        self.view_indexes: dict[str, ViewIndexInfo] = {}
+
+    # -- keyspaces ---------------------------------------------------------------
+
+    def require_keyspace(self, name: str) -> None:
+        if name not in self.cluster.manager.bucket_configs:
+            raise N1qlSemanticError(f"keyspace {name!r} does not exist")
+
+    # -- GSI metadata -------------------------------------------------------------
+
+    def gsi_indexes(self, bucket: str) -> list:
+        registry = self.cluster.manager.index_registry
+        return [
+            meta for meta in registry.indexes_on(bucket)
+            if meta.state == "ready"
+        ]
+
+    def gsi_primary(self, bucket: str):
+        for meta in self.gsi_indexes(bucket):
+            if meta.definition.is_primary:
+                return meta
+        return None
+
+    # -- view indexes ---------------------------------------------------------------
+
+    def add_view_index(self, info: ViewIndexInfo) -> None:
+        if info.name in self.view_indexes:
+            from ..common.errors import IndexExistsError
+            raise IndexExistsError(info.name)
+        self.view_indexes[info.name] = info
+
+    def drop_view_index(self, name: str) -> ViewIndexInfo:
+        from ..common.errors import IndexNotFoundError
+        if name not in self.view_indexes:
+            raise IndexNotFoundError(name)
+        return self.view_indexes.pop(name)
+
+    def view_indexes_on(self, bucket: str) -> list[ViewIndexInfo]:
+        return [
+            info for info in self.view_indexes.values()
+            if info.bucket == bucket
+        ]
+
+    def view_primary(self, bucket: str) -> ViewIndexInfo | None:
+        for info in self.view_indexes_on(bucket):
+            if info.is_primary:
+                return info
+        return None

@@ -1,0 +1,137 @@
+"""JSON value ordering (collation).
+
+N1QL and the view engine both need a total order over heterogeneous
+JSON values -- for ORDER BY, for index key ordering, and for range
+predicates.  Both use the same type-bracketed collation (the SQL++ /
+CouchDB order the paper's systems implement):
+
+    MISSING < NULL < FALSE < TRUE < numbers < strings < arrays < objects
+
+* Numbers compare numerically (ints and floats interchangeably).
+* Strings compare by unicode code points.
+* Arrays compare element-wise, shorter-is-smaller on ties.
+* Objects compare by sorted (key, value) pairs.
+
+``MISSING`` is a sentinel distinct from JSON ``null``: the absence of a
+field in a document.  It is what makes N1QL's semantics "non-first
+normal form": expressions over absent fields yield MISSING, which sorts
+before everything and is excluded from index entries for leading keys.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any
+
+
+class _Missing:
+    """Singleton sentinel for an absent field."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "MISSING"
+
+    def __bool__(self):
+        return False
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self
+
+
+MISSING = _Missing()
+
+
+def type_rank(value: Any) -> int:
+    """The collation bracket of a value.  Lower ranks sort first."""
+    if value is MISSING:
+        return 0
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 2 if not value else 3
+    if isinstance(value, (int, float)):
+        return 4
+    if isinstance(value, str):
+        return 5
+    if isinstance(value, (list, tuple)):
+        return 6
+    if isinstance(value, dict):
+        return 7
+    raise TypeError(f"not a collatable value: {value!r}")
+
+
+def compare(a: Any, b: Any) -> int:
+    """Three-way comparison under JSON collation: -1, 0, or +1."""
+    rank_a, rank_b = type_rank(a), type_rank(b)
+    if rank_a != rank_b:
+        return -1 if rank_a < rank_b else 1
+    if rank_a in (0, 1, 2, 3):  # MISSING, NULL, FALSE, TRUE: singletons
+        return 0
+    if rank_a == 4:
+        if a == b:
+            return 0
+        return -1 if a < b else 1
+    if rank_a == 5:
+        if a == b:
+            return 0
+        return -1 if a < b else 1
+    if rank_a == 6:
+        for item_a, item_b in zip(a, b):
+            order = compare(item_a, item_b)
+            if order != 0:
+                return order
+        return (len(a) > len(b)) - (len(a) < len(b))
+    # Objects: compare as sorted key/value pair lists.
+    pairs_a = sorted(a.items())
+    pairs_b = sorted(b.items())
+    for (key_a, val_a), (key_b, val_b) in zip(pairs_a, pairs_b):
+        if key_a != key_b:
+            return -1 if key_a < key_b else 1
+        order = compare(val_a, val_b)
+        if order != 0:
+            return order
+    return (len(pairs_a) > len(pairs_b)) - (len(pairs_a) < len(pairs_b))
+
+
+#: Key function for ``sorted(...)`` under JSON collation.
+sort_key = functools.cmp_to_key(compare)
+
+
+def equal(a: Any, b: Any) -> bool:
+    return compare(a, b) == 0
+
+
+def less(a: Any, b: Any) -> bool:
+    return compare(a, b) < 0
+
+
+def less_equal(a: Any, b: Any) -> bool:
+    return compare(a, b) <= 0
+
+
+def max_value(values) -> Any:
+    """Collation max of an iterable (raises on empty)."""
+    iterator = iter(values)
+    best = next(iterator)
+    for value in iterator:
+        if compare(value, best) > 0:
+            best = value
+    return best
+
+
+def min_value(values) -> Any:
+    iterator = iter(values)
+    best = next(iterator)
+    for value in iterator:
+        if compare(value, best) < 0:
+            best = value
+    return best

@@ -1,0 +1,259 @@
+"""N1QL DML execution: INSERT, UPSERT, UPDATE, DELETE.
+
+Section 3.2.2: "N1QL provides support for INSERT, DELETE, UPDATE, and
+UPSERT statements to create, delete, and modify data stored as JSON
+documents.  These statements also support sub-document level lookups
+and updates."
+
+UPDATE/DELETE reuse the SELECT access-path machinery to locate target
+documents (USE KEYS, an index scan, or a primary scan), then apply the
+mutation through the key-value API with a CAS retry loop so concurrent
+writers are handled the way section 3.1.1 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..common.errors import (
+    CasMismatchError,
+    KeyExistsError,
+    KeyNotFoundError,
+    N1qlRuntimeError,
+)
+from ..common.jsonval import deep_copy
+from .collation import MISSING
+from .expressions import Env, Evaluator
+from .operators import ExecutionContext, meta_dict
+from .plan import Fetch, Filter, KeyScan, LimitOp, QueryPlan
+from .pipeline import execute_plan
+from .planner import Planner
+from .syntax import (
+    DeleteStatement,
+    ElementAccess,
+    FieldAccess,
+    Identifier,
+    InsertStatement,
+    Projection,
+    SelectStatement,
+    UpdateStatement,
+)
+
+_CAS_RETRIES = 8
+
+
+def _returning(projections: list[Projection], ctx: ExecutionContext,
+               env: Env) -> Any:
+    out = {}
+    unnamed = 0
+    for projection in projections:
+        if projection.expr is None:
+            for alias in reversed(env.aliases()):
+                found, value = env.lookup(alias)
+                if found:
+                    out[alias] = value
+            continue
+        value = ctx.evaluator.evaluate(projection.expr, env)
+        if value is MISSING:
+            continue
+        name = projection.alias
+        if name is None:
+            from .operators import _implicit_name
+            name = _implicit_name(projection.expr)
+        if name is None:
+            unnamed += 1
+            name = f"${unnamed}"
+        out[name] = value
+    return out
+
+
+def execute_insert(statement: InsertStatement, ctx: ExecutionContext) -> dict:
+    client = ctx.client
+    empty = Env()
+    count = 0
+    returned = []
+    for key_expr, value_expr in statement.values:
+        key = ctx.evaluator.evaluate(key_expr, empty)
+        value = ctx.evaluator.evaluate(value_expr, empty)
+        if not isinstance(key, str):
+            raise N1qlRuntimeError("INSERT key must evaluate to a string")
+        if value is MISSING:
+            raise N1qlRuntimeError("INSERT value must not be MISSING")
+        if statement.upsert:
+            client.upsert(statement.keyspace, key, value)
+        else:
+            try:
+                client.insert(statement.keyspace, key, value)
+            except KeyExistsError:
+                raise N1qlRuntimeError(
+                    f"duplicate key {key!r} in INSERT (use UPSERT to "
+                    f"overwrite)"
+                ) from None
+        count += 1
+        if statement.returning:
+            env = Env()
+            env.bind(statement.keyspace, value, {"id": key})
+            returned.append(_returning(statement.returning, ctx, env))
+    return {"mutationCount": count, "returning": returned}
+
+
+def _target_rows(keyspace: str, alias: str, use_keys, where, limit,
+                 planner: Planner, ctx: ExecutionContext):
+    """Locate target documents by piggybacking on SELECT planning."""
+    pseudo = SelectStatement(
+        projections=[Projection(expr=None, alias=None)],
+        from_term=None,
+    )
+    from .syntax import KeyspaceTerm
+    pseudo.from_term = KeyspaceTerm(keyspace, alias, use_keys)
+    pseudo.where = where
+    pseudo.limit = limit
+    operators = planner._plan_access_path(pseudo, pseudo.from_term)
+    if where is not None:
+        operators.append(Filter(where))
+    if limit is not None:
+        operators.append(LimitOp(limit))
+    plan = QueryPlan(operators, alias, "DML-TARGET")
+    return execute_plan(plan, ctx)
+
+
+def _doc_path_steps(expr, alias: str, ctx: ExecutionContext,
+                    env: Env) -> list:
+    """Convert a SET/UNSET path AST into concrete steps relative to the
+    document (stripping the keyspace alias if present)."""
+    steps: list = []
+    node = expr
+    while True:
+        if isinstance(node, Identifier):
+            if node.name != alias:
+                steps.append(node.name)
+            break
+        if isinstance(node, FieldAccess):
+            steps.append(node.field)
+            node = node.base
+            continue
+        if isinstance(node, ElementAccess):
+            index = ctx.evaluator.evaluate(node.index, env)
+            if not isinstance(index, (int, float)) or isinstance(index, bool):
+                raise N1qlRuntimeError("array index in path must be a number")
+            steps.append(int(index))
+            node = node.base
+            continue
+        raise N1qlRuntimeError("unsupported path expression in SET/UNSET")
+    steps.reverse()
+    return steps
+
+
+def _apply_path_set(doc, steps: list, value) -> None:
+    current = doc
+    for step in steps[:-1]:
+        if isinstance(step, int):
+            current = current[step]
+        else:
+            if not isinstance(current, dict):
+                raise N1qlRuntimeError("cannot traverse non-object in SET")
+            current = current.setdefault(step, {})
+    last = steps[-1]
+    if isinstance(last, int):
+        current[last] = value
+    else:
+        if not isinstance(current, dict):
+            raise N1qlRuntimeError("cannot set field on non-object")
+        current[last] = value
+
+
+def _apply_path_unset(doc, steps: list) -> None:
+    current = doc
+    for step in steps[:-1]:
+        try:
+            current = current[step]
+        except (KeyError, IndexError, TypeError):
+            return
+    last = steps[-1]
+    try:
+        del current[last]
+    except (KeyError, IndexError, TypeError):
+        return
+
+
+def execute_update(statement: UpdateStatement, planner: Planner,
+                   ctx: ExecutionContext) -> dict:
+    client = ctx.client
+    count = 0
+    returned = []
+    rows = _target_rows(
+        statement.keyspace, statement.alias, statement.use_keys,
+        statement.where, statement.limit, planner, ctx,
+    )
+    for env in rows:
+        meta = env.lookup_meta(statement.alias)
+        if meta is None:
+            continue
+        key = meta["id"]
+        for _attempt in range(_CAS_RETRIES):
+            try:
+                current = client.get(statement.keyspace, key)
+            except KeyNotFoundError:
+                break
+            # Re-check WHERE against the current version (the row may
+            # have changed since the scan).
+            check_env = Env()
+            check_env.bind(statement.alias, current.value, meta_dict(current))
+            if statement.where is not None and not ctx.evaluator.truthy(
+                statement.where, check_env
+            ):
+                break
+            updated = deep_copy(current.value)
+            mutate_env = Env()
+            mutate_env.bind(statement.alias, updated, meta_dict(current))
+            for update_set in statement.sets:
+                steps = _doc_path_steps(update_set.path, statement.alias,
+                                        ctx, mutate_env)
+                value = ctx.evaluator.evaluate(update_set.value, mutate_env)
+                if value is MISSING:
+                    continue
+                _apply_path_set(updated, steps, value)
+            for unset_expr in statement.unsets:
+                steps = _doc_path_steps(unset_expr, statement.alias, ctx,
+                                        mutate_env)
+                _apply_path_unset(updated, steps)
+            try:
+                client.replace(statement.keyspace, key, updated,
+                               cas=current.meta.cas)
+            except CasMismatchError:
+                continue  # concurrent writer -- re-read and retry
+            count += 1
+            if statement.returning:
+                result_env = Env()
+                result_env.bind(statement.alias, updated, meta_dict(current))
+                returned.append(_returning(statement.returning, ctx,
+                                           result_env))
+            break
+    return {"mutationCount": count, "returning": returned}
+
+
+def execute_delete(statement: DeleteStatement, planner: Planner,
+                   ctx: ExecutionContext) -> dict:
+    client = ctx.client
+    count = 0
+    returned = []
+    rows = _target_rows(
+        statement.keyspace, statement.alias, statement.use_keys,
+        statement.where, statement.limit, planner, ctx,
+    )
+    for env in rows:
+        meta = env.lookup_meta(statement.alias)
+        if meta is None:
+            continue
+        key = meta["id"]
+        found, value = env.lookup(statement.alias)
+        try:
+            client.remove(statement.keyspace, key)
+        except KeyNotFoundError:
+            continue
+        count += 1
+        if statement.returning:
+            result_env = Env()
+            result_env.bind(statement.alias, value, {"id": key})
+            returned.append(_returning(statement.returning, ctx, result_env))
+    return {"mutationCount": count, "returning": returned}

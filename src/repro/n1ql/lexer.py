@@ -1,0 +1,202 @@
+"""N1QL lexer.
+
+Tokenizes the SQL-inspired surface of section 3.2: keywords, plain and
+backtick-quoted identifiers, single/double-quoted strings, numbers,
+operators, and the positional (``$1``/``?``) and named (``$name``)
+parameters the YCSB workload-E query uses
+(``SELECT meta().id FROM bucket WHERE meta().id >= $1 LIMIT $2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import N1qlSyntaxError
+
+KEYWORDS = {
+    "ALL", "AND", "ANY", "ARRAY", "AS", "ASC", "BETWEEN", "BUILD", "BY",
+    "CASE", "CREATE", "DELETE", "DESC", "DISTINCT", "DROP", "ELSE", "END",
+    "EVERY", "EXISTS", "EXPLAIN", "FALSE", "FOR", "FROM", "GROUP", "HAVING",
+    "IN", "INDEX", "INNER", "INSERT", "INTO", "IS", "JOIN", "KEY", "KEYS",
+    "EXECUTE", "LEFT", "LET", "LIKE", "LIMIT", "MISSING", "NEST", "NOT",
+    "NULL", "ON", "OFFSET", "OR", "ORDER", "OUTER", "PREPARE", "PRIMARY",
+    "RAW", "RETURNING",
+    "SATISFIES", "SELECT", "SET", "THEN", "TRUE", "UNNEST", "UNSET",
+    "UPDATE", "UPSERT", "USE", "USING", "VALUE", "VALUES", "WHEN", "WHERE",
+    "WITH",
+}
+
+#: Multi-character operators first so maximal munch works.
+OPERATORS = [
+    "||", "<=", ">=", "==", "!=", "<>", "=", "<", ">", "+", "-", "*", "/",
+    "%", "(", ")", "[", "]", "{", "}", ",", ".", ":", ";",
+]
+
+
+@dataclass
+class Token:
+    kind: str  # "keyword" | "ident" | "string" | "number" | "op" | "param" | "eof"
+    value: str | int | float
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.value in ops
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    def error(message: str):
+        return N1qlSyntaxError(message, line, column())
+
+    while position < length:
+        char = text[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if text.startswith("--", position):
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        if text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            for i in range(position, end):
+                if text[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+            position = end + 2
+            continue
+
+        start_line, start_col = line, column()
+
+        # Strings (single or double quoted; doubled quote escapes).
+        if char in ("'", '"'):
+            quote = char
+            position += 1
+            parts: list[str] = []
+            while True:
+                if position >= length:
+                    raise error("unterminated string literal")
+                current = text[position]
+                if current == quote:
+                    if position + 1 < length and text[position + 1] == quote:
+                        parts.append(quote)
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                if current == "\\" and position + 1 < length:
+                    escape = text[position + 1]
+                    mapping = {"n": "\n", "t": "\t", "\\": "\\",
+                               "'": "'", '"': '"'}
+                    parts.append(mapping.get(escape, escape))
+                    position += 2
+                    continue
+                parts.append(current)
+                position += 1
+            tokens.append(Token("string", "".join(parts), start_line, start_col))
+            continue
+
+        # Backtick-quoted identifiers (`Profile`).
+        if char == "`":
+            end = text.find("`", position + 1)
+            if end == -1:
+                raise error("unterminated backtick identifier")
+            tokens.append(Token("ident", text[position + 1:end],
+                                start_line, start_col))
+            position = end + 1
+            continue
+
+        # Numbers.
+        if char.isdigit() or (
+            char == "." and position + 1 < length and text[position + 1].isdigit()
+        ):
+            end = position
+            seen_dot = False
+            seen_exp = False
+            while end < length:
+                current = text[end]
+                if current.isdigit():
+                    end += 1
+                elif current == "." and not seen_dot and not seen_exp:
+                    # Don't swallow "1.x" where x is not a digit (that is
+                    # field access on a number literal -- invalid anyway).
+                    if end + 1 < length and text[end + 1].isdigit():
+                        seen_dot = True
+                        end += 1
+                    else:
+                        break
+                elif current in "eE" and not seen_exp and end + 1 < length and (
+                    text[end + 1].isdigit()
+                    or (text[end + 1] in "+-" and end + 2 < length
+                        and text[end + 2].isdigit())
+                ):
+                    seen_exp = True
+                    end += 2 if text[end + 1] in "+-" else 1
+                else:
+                    break
+            raw = text[position:end]
+            value: int | float = float(raw) if ("." in raw or "e" in raw.lower()) else int(raw)
+            tokens.append(Token("number", value, start_line, start_col))
+            position = end
+            continue
+
+        # Parameters: $1, $name, ?.
+        if char == "$":
+            end = position + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == position + 1:
+                raise error("bare '$' is not a valid parameter")
+            tokens.append(Token("param", text[position + 1:end],
+                                start_line, start_col))
+            position = end
+            continue
+        if char == "?":
+            tokens.append(Token("param", "?", start_line, start_col))
+            position += 1
+            continue
+
+        # Identifiers / keywords.
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start_line, start_col))
+            else:
+                tokens.append(Token("ident", word, start_line, start_col))
+            position = end
+            continue
+
+        # Operators.
+        for op in OPERATORS:
+            if text.startswith(op, position):
+                tokens.append(Token("op", op, start_line, start_col))
+                position += len(op)
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token("eof", "", line, column()))
+    return tokens

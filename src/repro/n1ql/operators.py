@@ -1,0 +1,530 @@
+"""Query execution operators.
+
+Each plan node has an executor that transforms a stream of row
+environments (section 4.5.3's pipeline).  Scans produce rows; Fetch
+reaches into the data service by key ("an index only contains document
+IDs, so the fetch operator is needed whenever a query includes
+additional projections that cannot be answered from the index alone",
+section 4.5.3); the join family performs nested-loop key lookups; and
+the two projection phases shape the final JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from ..common.errors import KeyNotFoundError, N1qlRuntimeError
+from .collation import MISSING, sort_key
+from .expressions import Env, Evaluator
+from .functions import _COUNT_STAR, Accumulator
+from .plan import (
+    DistinctOp,
+    Fetch,
+    Filter,
+    FinalProject,
+    GroupOp,
+    IndexScan,
+    InitialProject,
+    JoinOp,
+    KeyScan,
+    LetOp,
+    LimitOp,
+    NestOp,
+    OffsetOp,
+    OrderOp,
+    PrimaryScan,
+    UnnestOp,
+)
+from .printer import print_expr
+
+Rows = Iterator[Env]
+
+
+class ExecutionContext:
+    """Everything operators need: the cluster, parameters, consistency."""
+
+    def __init__(self, cluster, evaluator: Evaluator,
+                 scan_consistency: str = "not_bounded",
+                 metrics=None, scan_tokens=None):
+        self.cluster = cluster
+        self.evaluator = evaluator
+        self.scan_consistency = scan_consistency
+        #: MutationResult tokens for at_plus consistency.
+        self.scan_tokens = scan_tokens or []
+        self.metrics = metrics
+        self._client = None
+
+    @property
+    def client(self):
+        if self._client is None:
+            self._client = self.cluster.connect()
+        return self._client
+
+    def fetch_doc(self, bucket: str, key: str):
+        """Point lookup via the data service; None when absent."""
+        try:
+            doc = self.client.get(bucket, key)
+        except KeyNotFoundError:
+            return None
+        return doc
+
+    def count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
+
+
+def meta_dict(doc) -> dict:
+    return {
+        "id": doc.meta.key,
+        "cas": doc.meta.cas,
+        "seqno": doc.meta.seqno,
+        "rev": doc.meta.rev,
+        "expiration": doc.meta.expiry,
+        "flags": doc.meta.flags,
+    }
+
+
+def _cover_doc(cover_paths: list[str], key_values: list) -> dict:
+    """Reconstruct a partial document from covered index key values so
+    downstream expressions evaluate without a fetch."""
+    doc: dict = {}
+    for path, value in zip(cover_paths, key_values):
+        if value is MISSING:
+            continue
+        parts = path.split(".")
+        current = doc
+        for part in parts[:-1]:
+            current = current.setdefault(part, {})
+        current[parts[-1]] = value
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+
+def run_key_scan(op: KeyScan, ctx: ExecutionContext) -> Rows:
+    keys = ctx.evaluator.evaluate(op.keys, Env())
+    if isinstance(keys, str):
+        keys = [keys]
+    if not isinstance(keys, list):
+        return
+    ctx.count("n1ql.keyscan")
+    for key in keys:
+        if not isinstance(key, str):
+            continue
+        env = Env()
+        env.bind(op.alias, {"__pending_fetch__": key},
+                 {"id": key})
+        yield env
+
+
+def _evaluate_span(span, ctx: ExecutionContext):
+    empty = Env()
+
+    def bound(exprs):
+        if exprs is None:
+            return None
+        return [ctx.evaluator.evaluate(e, empty) for e in exprs]
+
+    return (bound(span.low), bound(span.high),
+            span.inclusive_low, span.inclusive_high)
+
+
+def run_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
+    if op.using == "view":
+        yield from _run_view_index_scan(op, ctx)
+        return
+    low, high, inclusive_low, inclusive_high = _evaluate_span(op.span, ctx)
+    rows = ctx.cluster.gsi.scan(
+        op.index_name, low, high,
+        inclusive_low=inclusive_low, inclusive_high=inclusive_high,
+        consistency=ctx.scan_consistency,
+        mutation_tokens=ctx.scan_tokens,
+    )
+    ctx.count("n1ql.indexscan")
+    for key_values, doc_id in rows:
+        env = Env()
+        if op.covered:
+            env.bind(op.alias, _cover_doc(op.cover_paths, key_values),
+                     {"id": doc_id})
+        else:
+            env.bind(op.alias, {"__pending_fetch__": doc_id}, {"id": doc_id})
+        yield env
+
+
+def _run_view_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
+    from ..views.viewindex import ViewQueryParams
+    low, high, inclusive_low, inclusive_high = _evaluate_span(op.span, ctx)
+    stale = "false" if ctx.scan_consistency == "request_plus" else "ok"
+    params = ViewQueryParams(
+        startkey=low[0] if low else None,
+        endkey=high[0] if high else None,
+        inclusive_end=inclusive_high,
+        stale=stale,
+        reduce=False,
+    )
+    result = ctx.cluster.views.query(
+        op.keyspace, op.view_design, op.view_name, params
+    )
+    ctx.count("n1ql.viewscan")
+    for row in result.rows:
+        if low and not inclusive_low and row["key"] == low[0]:
+            continue
+        env = Env()
+        env.bind(op.alias, {"__pending_fetch__": row["id"]}, {"id": row["id"]})
+        yield env
+
+
+def run_primary_scan(op: PrimaryScan, ctx: ExecutionContext) -> Rows:
+    ctx.count("n1ql.primaryscan")
+    if op.using == "gsi":
+        rows = ctx.cluster.gsi.scan(op.index_name,
+                                    consistency=ctx.scan_consistency,
+                                    mutation_tokens=ctx.scan_tokens)
+        for _key_values, doc_id in rows:
+            env = Env()
+            env.bind(op.alias, {"__pending_fetch__": doc_id}, {"id": doc_id})
+            yield env
+        return
+    from ..views.viewindex import ViewQueryParams
+    stale = "false" if ctx.scan_consistency == "request_plus" else "ok"
+    result = ctx.cluster.views.query(
+        op.keyspace, "_n1ql", op.index_name,
+        ViewQueryParams(stale=stale, reduce=False),
+    )
+    for row in result.rows:
+        env = Env()
+        env.bind(op.alias, {"__pending_fetch__": row["id"]}, {"id": row["id"]})
+        yield env
+
+
+def run_system_scan(op, ctx: ExecutionContext) -> Rows:
+    """Rows of a system catalog keyspace."""
+    cluster = ctx.cluster
+    rows: list[dict] = []
+    if op.what == "indexes":
+        registry = cluster.manager.index_registry
+        for name in registry.names():
+            rows.append(registry.require(name).describe())
+        catalog = getattr(cluster, "query_catalog", None)
+        if catalog is not None:
+            for info in catalog.view_indexes.values():
+                rows.append({
+                    "name": info.name, "bucket": info.bucket,
+                    "keys": [info.attribute], "condition": None,
+                    "storage": "view", "is_primary": info.is_primary,
+                    "partitions": 1, "nodes": [], "state": "ready",
+                })
+    elif op.what == "keyspaces":
+        for name, config in sorted(cluster.manager.bucket_configs.items()):
+            rows.append({
+                "name": name,
+                "replicas": config.num_replicas,
+                "eviction_policy": config.eviction_policy,
+            })
+    elif op.what == "nodes":
+        for name in sorted(cluster.manager.nodes):
+            node = cluster.manager.nodes[name]
+            rows.append({
+                "name": name,
+                "services": sorted(s.value for s in node.services),
+                "ejected": name in cluster.manager.ejected,
+                "down": cluster.network.is_down(name),
+            })
+    for index, row in enumerate(rows):
+        env = Env()
+        env.bind(op.alias, row, {"id": f"{op.what}:{index}"})
+        yield env
+
+
+# ---------------------------------------------------------------------------
+# Fetch / Filter / Let
+# ---------------------------------------------------------------------------
+
+
+def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
+    for env in rows:
+        found, value = env.lookup(op.alias)
+        if not found:
+            continue
+        if isinstance(value, dict) and "__pending_fetch__" in value:
+            doc = ctx.fetch_doc(op.keyspace, value["__pending_fetch__"])
+            if doc is None:
+                continue  # deleted between scan and fetch
+            env.bind(op.alias, doc.value, meta_dict(doc))
+            ctx.count("n1ql.fetch")
+        yield env
+
+
+def run_filter(op: Filter, ctx: ExecutionContext, rows: Rows) -> Rows:
+    for env in rows:
+        if ctx.evaluator.truthy(op.condition, env):
+            yield env
+
+
+def run_let(op: LetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    for env in rows:
+        child = env.child()
+        for name, expr in op.bindings:
+            child.bind(name, ctx.evaluator.evaluate(expr, child))
+        yield child
+
+
+# ---------------------------------------------------------------------------
+# Join family (nested-loop, key-based -- section 4.5.3)
+# ---------------------------------------------------------------------------
+
+
+def _on_keys_list(expr, ctx: ExecutionContext, env: Env) -> list[str]:
+    value = ctx.evaluator.evaluate(expr, env)
+    if isinstance(value, str):
+        return [value]
+    if isinstance(value, list):
+        return [k for k in value if isinstance(k, str)]
+    return []
+
+
+def run_join(op: JoinOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    for env in rows:
+        keys = _on_keys_list(op.on_keys, ctx, env)
+        matched = False
+        for key in keys:
+            doc = ctx.fetch_doc(op.keyspace, key)
+            if doc is None:
+                continue
+            matched = True
+            child = env.child()
+            child.bind(op.alias, doc.value, meta_dict(doc))
+            yield child
+        if not matched and op.outer:
+            child = env.child()
+            child.bind(op.alias, MISSING)
+            yield child
+
+
+def run_nest(op: NestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    """NEST: one output row per left row, with the fetched inner
+    documents collected into an array (section 3.2.3)."""
+    for env in rows:
+        keys = _on_keys_list(op.on_keys, ctx, env)
+        collected = []
+        for key in keys:
+            doc = ctx.fetch_doc(op.keyspace, key)
+            if doc is not None:
+                collected.append(doc.value)
+        if collected:
+            child = env.child()
+            child.bind(op.alias, collected)
+            yield child
+        elif op.outer:
+            child = env.child()
+            child.bind(op.alias, MISSING)
+            yield child
+
+
+def run_unnest(op: UnnestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    """UNNEST: the parent is repeated for each element of the nested
+    array (section 4.5.3)."""
+    for env in rows:
+        value = ctx.evaluator.evaluate(op.expr, env)
+        if isinstance(value, list) and value:
+            for item in value:
+                child = env.child()
+                child.bind(op.alias, item)
+                yield child
+        elif op.outer:
+            child = env.child()
+            child.bind(op.alias, MISSING)
+            yield child
+
+
+# ---------------------------------------------------------------------------
+# Grouping and aggregation
+# ---------------------------------------------------------------------------
+
+
+def run_group(op: GroupOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    groups: dict[str, tuple[Env, list[Accumulator]]] = {}
+    order: list[str] = []
+
+    def group_token(env: Env) -> str:
+        values = [
+            ctx.evaluator.evaluate(expr, env) for expr in op.group_exprs
+        ]
+        return json.dumps(
+            [None if v is MISSING else ["$", _jsonable(v)] for v in values],
+            sort_keys=True,
+        )
+
+    for env in rows:
+        token = group_token(env)
+        if token not in groups:
+            accumulators = [
+                Accumulator(agg.name, agg.distinct) for agg in op.aggregates
+            ]
+            groups[token] = (env, accumulators)
+            order.append(token)
+        _env, accumulators = groups[token]
+        for aggregate, accumulator in zip(op.aggregates, accumulators):
+            if aggregate.star:
+                accumulator.add(_COUNT_STAR)
+            else:
+                accumulator.add(
+                    ctx.evaluator.evaluate(aggregate.args[0], env)
+                )
+
+    if not groups and not op.group_exprs and op.aggregates:
+        # Aggregates over an empty input still produce one row
+        # (COUNT(*) = 0, SUM = NULL, ...).
+        env = Env()
+        for aggregate in op.aggregates:
+            accumulator = Accumulator(aggregate.name, aggregate.distinct)
+            env.bind("$agg:" + print_expr(aggregate), accumulator.result())
+        yield env
+        return
+
+    for token in order:
+        representative, accumulators = groups[token]
+        out = representative.child()
+        for aggregate, accumulator in zip(op.aggregates, accumulators):
+            out.bind("$agg:" + print_expr(aggregate), accumulator.result())
+        yield out
+
+
+def _jsonable(value):
+    if value is MISSING:
+        return None
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Order / pagination
+# ---------------------------------------------------------------------------
+
+
+def run_order(op: OrderOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    materialized = list(rows)
+
+    def key_for(env: Env):
+        parts = []
+        for term in op.terms:
+            value = ctx.evaluator.evaluate(term.expr, env)
+            key = sort_key(value)
+            parts.append(_Reversed(key) if term.descending else key)
+        return tuple(parts)
+
+    materialized.sort(key=key_for)
+    ctx.count("n1ql.sorted_rows", len(materialized))
+    yield from materialized
+
+
+class _Reversed:
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return other.key == self.key
+
+
+def run_offset(op: OffsetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    count = ctx.evaluator.evaluate(op.count, Env())
+    if not isinstance(count, (int, float)):
+        raise N1qlRuntimeError("OFFSET requires a number")
+    skip = int(count)
+    for index, env in enumerate(rows):
+        if index >= skip:
+            yield env
+
+
+def run_limit(op: LimitOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    count = ctx.evaluator.evaluate(op.count, Env())
+    if not isinstance(count, (int, float)):
+        raise N1qlRuntimeError("LIMIT requires a number")
+    remaining = int(count)
+    if remaining <= 0:
+        return
+    for env in rows:
+        yield env
+        remaining -= 1
+        if remaining <= 0:
+            return
+
+
+# ---------------------------------------------------------------------------
+# Projection
+# ---------------------------------------------------------------------------
+
+
+def run_initial_project(op: InitialProject, ctx: ExecutionContext,
+                        rows: Rows) -> Rows:
+    """Evaluate the projection list; emits envs carrying '$result'."""
+    for env in rows:
+        if op.raw:
+            value = ctx.evaluator.evaluate(op.projections[0].expr, env)
+            result: Any = None if value is MISSING else value
+        else:
+            result = {}
+            unnamed = 0
+            for projection in op.projections:
+                if projection.expr is None:
+                    # '*' or alias.*: splice document(s) in.
+                    if projection.star_of is not None:
+                        found, value = env.lookup(projection.star_of)
+                        if found and isinstance(value, dict):
+                            result.update(value)
+                        continue
+                    # Bare '*': N1QL wraps each keyspace's document under
+                    # its alias (SELECT * FROM b -> [{"b": {...}}]).
+                    for alias in reversed(env.aliases()):
+                        found, value = env.lookup(alias)
+                        if found and value is not MISSING:
+                            result[alias] = value
+                    continue
+                value = ctx.evaluator.evaluate(projection.expr, env)
+                if value is MISSING:
+                    continue
+                name = projection.alias or _implicit_name(projection.expr)
+                if name is None:
+                    unnamed += 1
+                    name = f"${unnamed}"
+                result[name] = value
+        out = env.child()
+        out.bind("$result", result)
+        yield out
+
+
+def _implicit_name(expr) -> str | None:
+    from .syntax import FieldAccess, Identifier, FunctionCall
+    if isinstance(expr, FieldAccess):
+        return expr.field
+    if isinstance(expr, Identifier):
+        return expr.name
+    if isinstance(expr, FunctionCall) and expr.name == "META":
+        return None
+    return None
+
+
+def run_distinct(op: DistinctOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    seen: set[str] = set()
+    for env in rows:
+        found, result = env.lookup("$result")
+        token = json.dumps(result, sort_keys=True, default=str)
+        if token in seen:
+            continue
+        seen.add(token)
+        yield env
+
+
+def run_final_project(op: FinalProject, ctx: ExecutionContext,
+                      rows: Rows) -> Iterator[Any]:
+    for env in rows:
+        _found, result = env.lookup("$result")
+        yield result

@@ -1,0 +1,764 @@
+"""N1QL recursive-descent parser.
+
+Covers the language surface of section 3.2: SELECT (with USE KEYS, JOIN
+... ON KEYS, NEST, UNNEST, LET, GROUP BY/HAVING, ORDER/LIMIT/OFFSET,
+DISTINCT, RAW), the DML statements (INSERT/UPSERT/UPDATE/DELETE), index
+DDL (CREATE [PRIMARY] INDEX ... USING VIEW|GSI WITH {...}, DROP INDEX,
+BUILD INDEX), and EXPLAIN.
+
+The paper's join restriction (section 3.2.4) is enforced syntactically:
+``JOIN ... ON`` must be ``ON KEYS`` -- a general ON predicate is a parse
+error with a pointed message, exactly the "not supported linguistically"
+stance the paper takes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..common.errors import N1qlSyntaxError
+from .lexer import Token, tokenize
+from .syntax import (
+    ArrayComprehension,
+    ArrayLiteral,
+    Between,
+    Binary,
+    BuildIndexStatement,
+    CaseExpr,
+    CollectionPredicate,
+    CreateIndexStatement,
+    CreatePrimaryIndexStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    ElementAccess,
+    ExplainStatement,
+    Expr,
+    FieldAccess,
+    FunctionCall,
+    Identifier,
+    InList,
+    InsertStatement,
+    IsPredicate,
+    JoinClause,
+    KeyspaceTerm,
+    Literal,
+    MissingLiteral,
+    NestClause,
+    OrderTerm,
+    Parameter,
+    Projection,
+    SelectStatement,
+    Unary,
+    UnnestClause,
+    UpdateSet,
+    UpdateStatement,
+)
+
+
+def parse(text: str):
+    """Parse one statement; raises :class:`N1qlSyntaxError` on failure."""
+    return Parser(text).parse_statement()
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+        self._positional = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> N1qlSyntaxError:
+        token = self.current
+        return N1qlSyntaxError(message, token.line, token.column)
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> None:
+        if not self.accept_keyword(name):
+            raise self.error(f"expected {name}, found {self.current.value!r}")
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise self.error(f"expected {op!r}, found {self.current.value!r}")
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.kind == "ident":
+            self.advance()
+            return str(token.value)
+        # Unreserved-ish words used as identifiers: allow keywords that
+        # commonly appear as field names.
+        if token.kind == "keyword" and token.value in ("KEY", "VALUE", "INDEX"):
+            self.advance()
+            return str(token.value).lower()
+        raise self.error(f"expected identifier, found {token.value!r}")
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_statement(self):
+        statement = self._statement()
+        self.accept_op(";")
+        if self.current.kind != "eof":
+            raise self.error(
+                f"unexpected trailing input: {self.current.value!r}"
+            )
+        return statement
+
+    def _statement(self):
+        if self.accept_keyword("EXPLAIN"):
+            return ExplainStatement(self._statement())
+        if self.current.is_keyword("SELECT"):
+            return self.parse_select()
+        if self.current.is_keyword("INSERT"):
+            return self.parse_insert(upsert=False)
+        if self.current.is_keyword("UPSERT"):
+            return self.parse_insert(upsert=True)
+        if self.current.is_keyword("UPDATE"):
+            return self.parse_update()
+        if self.current.is_keyword("DELETE"):
+            return self.parse_delete()
+        if self.current.is_keyword("CREATE"):
+            return self.parse_create()
+        if self.current.is_keyword("DROP"):
+            return self.parse_drop_index()
+        if self.current.is_keyword("BUILD"):
+            return self.parse_build_index()
+        if self.accept_keyword("PREPARE"):
+            from .syntax import PrepareStatement
+            name = None
+            if self.current.kind == "ident" and self.peek().is_keyword("FROM"):
+                name = self.expect_ident()
+                self.expect_keyword("FROM")
+            return PrepareStatement(name, self._statement())
+        if self.accept_keyword("EXECUTE"):
+            from .syntax import ExecuteStatement
+            return ExecuteStatement(self.expect_ident())
+        raise self.error(f"expected a statement, found {self.current.value!r}")
+
+    # -- SELECT -----------------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self.accept_keyword("ALL")
+        raw = self.accept_keyword("RAW")
+
+        projections = [self.parse_projection(raw)]
+        while self.accept_op(","):
+            if raw:
+                raise self.error("SELECT RAW takes a single expression")
+            projections.append(self.parse_projection(raw))
+
+        statement = SelectStatement(
+            projections=projections, distinct=distinct, raw=raw
+        )
+
+        if self.accept_keyword("FROM"):
+            statement.from_term = self.parse_keyspace_term()
+            while True:
+                clause = self.parse_join_like()
+                if clause is None:
+                    break
+                statement.joins.append(clause)
+
+        if self.accept_keyword("LET"):
+            while True:
+                name = self.expect_ident()
+                self.expect_op("=")
+                statement.let_bindings.append((name, self.parse_expr()))
+                if not self.accept_op(","):
+                    break
+
+        if self.accept_keyword("WHERE"):
+            statement.where = self.parse_expr()
+
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            statement.group_by.append(self.parse_expr())
+            while self.accept_op(","):
+                statement.group_by.append(self.parse_expr())
+            if self.accept_keyword("HAVING"):
+                statement.having = self.parse_expr()
+
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                term = OrderTerm(self.parse_expr())
+                if self.accept_keyword("DESC"):
+                    term.descending = True
+                else:
+                    self.accept_keyword("ASC")
+                statement.order_by.append(term)
+                if not self.accept_op(","):
+                    break
+
+        if self.accept_keyword("LIMIT"):
+            statement.limit = self.parse_expr()
+        if self.accept_keyword("OFFSET"):
+            statement.offset = self.parse_expr()
+        return statement
+
+    def parse_projection(self, raw: bool) -> Projection:
+        if self.accept_op("*"):
+            return Projection(expr=None, alias=None)
+        expr = self.parse_expr()
+        # alias.* projection parses as FieldAccess(base, "*")? The lexer
+        # treats "*" as an op, so catch "ident.*" here.
+        if (
+            isinstance(expr, Identifier)
+            and self.current.is_op(".")
+            and self.peek().is_op("*")
+        ):
+            self.advance()
+            self.advance()
+            return Projection(expr=None, alias=None, star_of=expr.name)
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "ident" and not raw:
+            alias = self.expect_ident()
+        return Projection(expr=expr, alias=alias)
+
+    def parse_keyspace_term(self) -> KeyspaceTerm:
+        keyspace = self.expect_ident()
+        if keyspace == "system" and self.accept_op(":"):
+            keyspace = f"system:{self.expect_ident()}"
+        alias = keyspace.split(":")[-1]
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "ident":
+            alias = self.expect_ident()
+        use_keys = None
+        if self.accept_keyword("USE"):
+            self.expect_keyword("KEYS")
+            use_keys = self.parse_expr()
+        return KeyspaceTerm(keyspace=keyspace, alias=alias, use_keys=use_keys)
+
+    def parse_join_like(self):
+        outer = False
+        checkpoint = self.position
+        if self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            outer = True
+        elif self.accept_keyword("INNER"):
+            pass
+        if self.accept_keyword("JOIN"):
+            keyspace = self.expect_ident()
+            alias = keyspace
+            if self.accept_keyword("AS"):
+                alias = self.expect_ident()
+            elif self.current.kind == "ident":
+                alias = self.expect_ident()
+            self.expect_keyword("ON")
+            if not self.accept_keyword("KEYS"):
+                raise self.error(
+                    "N1QL joins require ON KEYS -- general join predicates "
+                    "between secondary attributes are not supported "
+                    "(section 3.2.4 of the paper)"
+                )
+            return JoinClause(keyspace, alias, self.parse_expr(), outer)
+        if self.accept_keyword("NEST"):
+            keyspace = self.expect_ident()
+            alias = keyspace
+            if self.accept_keyword("AS"):
+                alias = self.expect_ident()
+            elif self.current.kind == "ident":
+                alias = self.expect_ident()
+            self.expect_keyword("ON")
+            if not self.accept_keyword("KEYS"):
+                raise self.error("NEST requires ON KEYS")
+            return NestClause(keyspace, alias, self.parse_expr(), outer)
+        if self.accept_keyword("UNNEST"):
+            expr = self.parse_expr()
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = self.expect_ident()
+            elif self.current.kind == "ident":
+                alias = self.expect_ident()
+            if alias is None:
+                if isinstance(expr, FieldAccess):
+                    alias = expr.field
+                elif isinstance(expr, Identifier):
+                    alias = expr.name
+                else:
+                    raise self.error("UNNEST of an expression needs an alias")
+            return UnnestClause(expr, alias, outer)
+        self.position = checkpoint
+        return None
+
+    # -- DML ---------------------------------------------------------------------------
+
+    def parse_insert(self, upsert: bool) -> InsertStatement:
+        self.advance()  # INSERT or UPSERT
+        self.expect_keyword("INTO")
+        keyspace = self.expect_ident()
+        self.expect_op("(")
+        self.expect_keyword("KEY")
+        self.accept_op(",")
+        self.expect_keyword("VALUE")
+        self.expect_op(")")
+        self.expect_keyword("VALUES")
+        values = [self.parse_key_value_pair()]
+        while self.accept_op(","):
+            self.expect_keyword("VALUES") if self.current.is_keyword("VALUES") else None
+            values.append(self.parse_key_value_pair())
+        returning = self.parse_returning()
+        return InsertStatement(keyspace=keyspace, values=values,
+                               upsert=upsert, returning=returning)
+
+    def parse_key_value_pair(self) -> tuple[Expr, Expr]:
+        self.expect_op("(")
+        key = self.parse_expr()
+        self.expect_op(",")
+        value = self.parse_expr()
+        self.expect_op(")")
+        return key, value
+
+    def parse_returning(self) -> list[Projection]:
+        if not self.accept_keyword("RETURNING"):
+            return []
+        projections = [self.parse_projection(raw=False)]
+        while self.accept_op(","):
+            projections.append(self.parse_projection(raw=False))
+        return projections
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("UPDATE")
+        keyspace = self.expect_ident()
+        alias = keyspace
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "ident":
+            alias = self.expect_ident()
+        use_keys = None
+        if self.accept_keyword("USE"):
+            self.expect_keyword("KEYS")
+            use_keys = self.parse_expr()
+        sets: list[UpdateSet] = []
+        unsets: list[Expr] = []
+        if self.accept_keyword("SET"):
+            while True:
+                path = self.parse_path_expr()
+                self.expect_op("=")
+                sets.append(UpdateSet(path, self.parse_expr()))
+                if not self.accept_op(","):
+                    break
+        if self.accept_keyword("UNSET"):
+            while True:
+                unsets.append(self.parse_path_expr())
+                if not self.accept_op(","):
+                    break
+        if not sets and not unsets:
+            raise self.error("UPDATE requires SET and/or UNSET")
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        limit = self.parse_expr() if self.accept_keyword("LIMIT") else None
+        returning = self.parse_returning()
+        return UpdateStatement(keyspace, alias, use_keys, sets, unsets,
+                               where, limit, returning)
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        keyspace = self.expect_ident()
+        alias = keyspace
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "ident":
+            alias = self.expect_ident()
+        use_keys = None
+        if self.accept_keyword("USE"):
+            self.expect_keyword("KEYS")
+            use_keys = self.parse_expr()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        limit = self.parse_expr() if self.accept_keyword("LIMIT") else None
+        returning = self.parse_returning()
+        return DeleteStatement(keyspace, alias, use_keys, where, limit,
+                               returning)
+
+    def parse_path_expr(self) -> Expr:
+        """A dotted path (possibly with [n] steps) used by SET/UNSET."""
+        expr: Expr = Identifier(self.expect_ident())
+        while True:
+            if self.accept_op("."):
+                expr = FieldAccess(expr, self.expect_ident())
+            elif self.accept_op("["):
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ElementAccess(expr, index)
+            else:
+                return expr
+
+    # -- DDL ----------------------------------------------------------------------------
+
+    def parse_create(self):
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("INDEX")
+            name = None
+            if self.current.kind == "ident":
+                name = self.expect_ident()
+            self.expect_keyword("ON")
+            keyspace = self.expect_ident()
+            using = self.parse_using()
+            options = self.parse_with_options()
+            return CreatePrimaryIndexStatement(name, keyspace, using, options)
+        self.expect_keyword("INDEX")
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        keyspace = self.expect_ident()
+        self.expect_op("(")
+        keys = []
+        sources = []
+        while True:
+            start = self.position
+            keys.append(self.parse_expr())
+            sources.append(self._source_between(start, self.position))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        where = None
+        where_source = None
+        if self.accept_keyword("WHERE"):
+            start = self.position
+            where = self.parse_expr()
+            where_source = self._source_between(start, self.position)
+        using = self.parse_using()
+        options = self.parse_with_options()
+        return CreateIndexStatement(
+            name=name, keyspace=keyspace, keys=keys, where=where,
+            using=using, with_options=options, key_sources=sources,
+            where_source=where_source,
+        )
+
+    def parse_using(self) -> str:
+        if self.accept_keyword("USING"):
+            token = self.current
+            if token.kind == "ident" and token.value.upper() in ("GSI", "VIEW"):
+                self.advance()
+                return str(token.value).lower()
+            raise self.error("USING must name GSI or VIEW")
+        return "gsi"
+
+    def parse_with_options(self) -> dict:
+        if not self.accept_keyword("WITH"):
+            return {}
+        expr = self.parse_expr()
+        options = _literal_object(expr)
+        if options is None:
+            raise self.error("WITH requires a literal JSON object")
+        return options
+
+    def parse_drop_index(self) -> DropIndexStatement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("INDEX")
+        first = self.expect_ident()
+        if self.accept_op("."):
+            return DropIndexStatement(first, self.expect_ident())
+        return DropIndexStatement("", first)
+
+    def parse_build_index(self) -> BuildIndexStatement:
+        self.expect_keyword("BUILD")
+        self.expect_keyword("INDEX")
+        self.expect_keyword("ON")
+        keyspace = self.expect_ident()
+        self.expect_op("(")
+        names = [self.expect_ident()]
+        while self.accept_op(","):
+            names.append(self.expect_ident())
+        self.expect_op(")")
+        return BuildIndexStatement(keyspace, names)
+
+    def _source_between(self, start: int, end: int) -> str:
+        return " ".join(
+            str(token.value) for token in self.tokens[start:end]
+        )
+
+    # -- expressions ---------------------------------------------------------------------
+    # Precedence (loosest to tightest): OR, AND, NOT, comparison/IS/IN/
+    # BETWEEN/LIKE, ||, + -, * / %, unary -, postfix (.field, [index]).
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = Binary("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = Binary("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("NOT"):
+            return Unary("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_concat()
+        while True:
+            if self.current.is_op("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+                op = str(self.advance().value)
+                if op == "==":
+                    op = "="
+                if op == "<>":
+                    op = "!="
+                left = Binary(op, left, self.parse_concat())
+                continue
+            negated = False
+            checkpoint = self.position
+            if self.accept_keyword("NOT"):
+                negated = True
+            if self.accept_keyword("LIKE"):
+                left = Binary("NOT LIKE" if negated else "LIKE",
+                              left, self.parse_concat())
+                continue
+            if self.accept_keyword("BETWEEN"):
+                low = self.parse_concat()
+                self.expect_keyword("AND")
+                high = self.parse_concat()
+                left = Between(left, low, high, negated)
+                continue
+            if self.accept_keyword("IN"):
+                left = InList(left, self.parse_concat(), negated)
+                continue
+            if negated:
+                self.position = checkpoint
+            if self.accept_keyword("IS"):
+                is_negated = self.accept_keyword("NOT")
+                if self.accept_keyword("NULL"):
+                    what = "NULL"
+                elif self.accept_keyword("MISSING"):
+                    what = "MISSING"
+                elif self.current.kind == "ident" and str(
+                    self.current.value
+                ).upper() == "VALUED":
+                    self.advance()
+                    what = "VALUED"
+                else:
+                    raise self.error("IS must be followed by NULL, MISSING, "
+                                     "or VALUED")
+                left = IsPredicate(left, what, is_negated)
+                continue
+            return left
+
+    def parse_concat(self) -> Expr:
+        left = self.parse_additive()
+        while self.accept_op("||"):
+            left = Binary("||", left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.current.is_op("+", "-"):
+            op = str(self.advance().value)
+            left = Binary(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.current.is_op("*", "/", "%"):
+            op = str(self.advance().value)
+            left = Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept_op("-"):
+            return Unary("-", self.parse_unary())
+        if self.accept_op("+"):
+            return self.parse_unary()
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.current.is_op(".") and not self.peek().is_op("*"):
+                self.advance()
+                expr = FieldAccess(expr, self.expect_ident())
+            elif self.accept_op("["):
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ElementAccess(expr, index)
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "param":
+            self.advance()
+            name = str(token.value)
+            if name == "?":
+                self._positional += 1
+                name = f"?{self._positional}"
+            return Parameter(name)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("MISSING"):
+            self.advance()
+            return MissingLiteral()
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if token.is_keyword("ANY", "EVERY"):
+            return self.parse_collection_predicate()
+        if token.is_keyword("ARRAY"):
+            return self.parse_array_comprehension()
+        if token.is_keyword("DISTINCT") and self.peek().is_keyword("ARRAY"):
+            # DISTINCT ARRAY ... FOR ... END (array-index syntax, §6.1.2).
+            self.advance()
+            comprehension = self.parse_array_comprehension()
+            comprehension.distinct = True
+            return comprehension
+        if self.accept_op("("):
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if self.accept_op("["):
+            items = []
+            if not self.current.is_op("]"):
+                items.append(self.parse_expr())
+                while self.accept_op(","):
+                    items.append(self.parse_expr())
+            self.expect_op("]")
+            return ArrayLiteral(items)
+        if self.accept_op("{"):
+            pairs: list[tuple[str, Expr]] = []
+            if not self.current.is_op("}"):
+                while True:
+                    key_token = self.advance()
+                    if key_token.kind not in ("string", "ident"):
+                        raise self.error("object keys must be strings")
+                    self.expect_op(":")
+                    pairs.append((str(key_token.value), self.parse_expr()))
+                    if not self.accept_op(","):
+                        break
+            self.expect_op("}")
+            return ObjectLiteral(pairs)
+        if token.kind == "ident" or token.kind == "keyword" and token.value in (
+            "KEY", "VALUE", "LEFT",
+        ):
+            name = str(token.value)
+            self.advance()
+            if self.accept_op("("):
+                return self.parse_function_tail(name)
+            return Identifier(name)
+        raise self.error(f"unexpected token {token.value!r} in expression")
+
+    def parse_function_tail(self, name: str) -> FunctionCall:
+        upper = name.upper()
+        if self.accept_op(")"):
+            return FunctionCall(upper, [])
+        if self.accept_op("*"):
+            self.expect_op(")")
+            return FunctionCall(upper, [], star=True)
+        distinct = self.accept_keyword("DISTINCT")
+        args = [self.parse_expr()]
+        while self.accept_op(","):
+            args.append(self.parse_expr())
+        self.expect_op(")")
+        return FunctionCall(upper, args, distinct=distinct)
+
+    def parse_case(self) -> CaseExpr:
+        self.expect_keyword("CASE")
+        whens: list[tuple[Expr, Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        else_result = self.parse_expr() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return CaseExpr(whens, else_result)
+
+    def parse_collection_predicate(self) -> CollectionPredicate:
+        quantifier = str(self.advance().value)  # ANY / EVERY
+        variable = self.expect_ident()
+        self.expect_keyword("IN")
+        collection = self.parse_expr()
+        self.expect_keyword("SATISFIES")
+        condition = self.parse_expr()
+        self.expect_keyword("END")
+        return CollectionPredicate(quantifier, variable, collection, condition)
+
+    def parse_array_comprehension(self) -> ArrayComprehension:
+        self.expect_keyword("ARRAY")
+        distinct = self.accept_keyword("DISTINCT")
+        output = self.parse_expr()
+        self.expect_keyword("FOR")
+        variable = self.expect_ident()
+        self.expect_keyword("IN")
+        collection = self.parse_expr()
+        condition = None
+        if self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+        self.expect_keyword("END")
+        return ArrayComprehension(output, variable, collection, condition,
+                                  distinct)
+
+
+def _literal_object(expr: Expr) -> dict | None:
+    """Fold a literal ObjectLiteral into a plain dict (WITH options)."""
+    from .syntax import ObjectLiteral as OL
+    if not isinstance(expr, OL):
+        return None
+    out = {}
+    for key, value in expr.pairs:
+        if isinstance(value, Literal):
+            out[key] = value.value
+        elif isinstance(value, ArrayLiteral) and all(
+            isinstance(i, Literal) for i in value.items
+        ):
+            out[key] = [i.value for i in value.items]
+        else:
+            return None
+    return out
+
+
+# Re-import guard for ObjectLiteral used above.
+from .syntax import ObjectLiteral  # noqa: E402

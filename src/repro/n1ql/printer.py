@@ -1,0 +1,129 @@
+"""Canonical printing of N1QL ASTs.
+
+Used for EXPLAIN output, for matching aggregate expressions between the
+grouping operator and the projection, and for the planner's sargability
+bookkeeping (an index on ``age`` matches the WHERE conjunct whose
+canonical path prints as ``age``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .syntax import (
+    ArrayComprehension,
+    ArrayLiteral,
+    Between,
+    Binary,
+    CaseExpr,
+    CollectionPredicate,
+    ElementAccess,
+    Expr,
+    FieldAccess,
+    FunctionCall,
+    Identifier,
+    InList,
+    IsPredicate,
+    Literal,
+    MissingLiteral,
+    ObjectLiteral,
+    Parameter,
+    Unary,
+)
+
+
+def print_expr(expr: Expr) -> str:
+    """Canonical textual form of an expression AST."""
+    if isinstance(expr, Literal):
+        return json.dumps(expr.value)
+    if isinstance(expr, MissingLiteral):
+        return "MISSING"
+    if isinstance(expr, Parameter):
+        return f"${expr.name}"
+    if isinstance(expr, Identifier):
+        return expr.name
+    if isinstance(expr, FieldAccess):
+        return f"{print_expr(expr.base)}.{expr.field}"
+    if isinstance(expr, ElementAccess):
+        return f"{print_expr(expr.base)}[{print_expr(expr.index)}]"
+    if isinstance(expr, Unary):
+        if expr.op == "NOT":
+            return f"NOT ({print_expr(expr.operand)})"
+        return f"{expr.op}({print_expr(expr.operand)})"
+    if isinstance(expr, Binary):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (f"({print_expr(expr.operand)} {word} "
+                f"{print_expr(expr.low)} AND {print_expr(expr.high)})")
+    if isinstance(expr, InList):
+        word = "NOT IN" if expr.negated else "IN"
+        return f"({print_expr(expr.operand)} {word} {print_expr(expr.items)})"
+    if isinstance(expr, IsPredicate):
+        word = f"IS {'NOT ' if expr.negated else ''}{expr.what}"
+        return f"({print_expr(expr.operand)} {word})"
+    if isinstance(expr, FunctionCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        inner = ", ".join(print_expr(a) for a in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{inner})"
+    if isinstance(expr, CaseExpr):
+        parts = ["CASE"]
+        for condition, result in expr.whens:
+            parts.append(f"WHEN {print_expr(condition)} THEN {print_expr(result)}")
+        if expr.else_result is not None:
+            parts.append(f"ELSE {print_expr(expr.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ArrayLiteral):
+        return "[" + ", ".join(print_expr(i) for i in expr.items) + "]"
+    if isinstance(expr, ObjectLiteral):
+        inner = ", ".join(
+            f"{json.dumps(k)}: {print_expr(v)}" for k, v in expr.pairs
+        )
+        return "{" + inner + "}"
+    if isinstance(expr, CollectionPredicate):
+        return (f"{expr.quantifier} {expr.variable} IN "
+                f"{print_expr(expr.collection)} SATISFIES "
+                f"{print_expr(expr.condition)} END")
+    if isinstance(expr, ArrayComprehension):
+        distinct = "DISTINCT " if expr.distinct else ""
+        when = (f" WHEN {print_expr(expr.condition)}"
+                if expr.condition is not None else "")
+        return (f"ARRAY {distinct}{print_expr(expr.output)} FOR "
+                f"{expr.variable} IN {print_expr(expr.collection)}{when} END")
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def path_of(expr: Expr, strip_alias: str | None = None) -> str | None:
+    """If ``expr`` is a pure attribute path (identifier / dotted fields),
+    return its dotted form, optionally stripping a leading keyspace
+    alias.  Returns None for anything else.  This is what the planner
+    uses to match WHERE conjuncts to index keys."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, FieldAccess):
+        parts.append(node.field)
+        node = node.base
+    if isinstance(node, Identifier):
+        parts.append(node.name)
+    elif (isinstance(node, FunctionCall) and node.name == "META"
+          and not node.args and parts and parts[-1] == "id"):
+        # meta().id is an indexable "path" too (primary indexes).
+        parts.append("meta().id")
+        parts.pop(0) if False else None
+        dotted = list(reversed(parts))
+        # dotted looks like ["meta().id", "id", ...]; normalize below.
+        if dotted[:2] == ["meta().id", "id"]:
+            rest = dotted[2:]
+            return ".".join(["meta().id"] + rest) if rest else "meta().id"
+        return None
+    else:
+        return None
+    dotted = list(reversed(parts))
+    if strip_alias is not None and dotted and dotted[0] == strip_alias:
+        dotted = dotted[1:]
+    if not dotted:
+        return None
+    return ".".join(dotted)

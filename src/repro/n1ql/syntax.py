@@ -1,0 +1,312 @@
+"""N1QL abstract syntax trees.
+
+Dataclasses for expressions and statements.  The shapes follow section
+3.2: SELECT with USE KEYS / JOIN ON KEYS / NEST / UNNEST, DML
+(INSERT/UPSERT/UPDATE/DELETE), and index DDL.  Every node carries enough
+source text (via ``source``) for EXPLAIN output and planner diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: Any  # JSON value
+
+
+@dataclass
+class MissingLiteral(Expr):
+    pass
+
+
+@dataclass
+class Parameter(Expr):
+    #: "1" / "name" for $-params, "?" for positional question marks; the
+    #: parser numbers bare "?" left to right as "?1", "?2", ...
+    name: str
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class FieldAccess(Expr):
+    base: Expr
+    field: str
+
+
+@dataclass
+class ElementAccess(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # "-", "NOT"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # arithmetic, comparison, AND, OR, ||, LIKE, ...
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: Expr  # an expression evaluating to an array
+    negated: bool = False
+
+
+@dataclass
+class IsPredicate(Expr):
+    operand: Expr
+    what: str  # "NULL" | "MISSING" | "VALUED"
+    negated: bool = False
+
+
+@dataclass
+class FunctionCall(Expr):
+    name: str  # uppercased
+    args: list[Expr]
+    distinct: bool = False  # COUNT(DISTINCT x)
+    star: bool = False      # COUNT(*)
+
+
+@dataclass
+class CaseExpr(Expr):
+    #: Searched CASE: list of (condition, result).
+    whens: list[tuple[Expr, Expr]]
+    else_result: Expr | None
+
+
+@dataclass
+class ArrayLiteral(Expr):
+    items: list[Expr]
+
+
+@dataclass
+class ObjectLiteral(Expr):
+    #: (key expression must be a string literal in this subset, value expr)
+    pairs: list[tuple[str, Expr]]
+
+
+@dataclass
+class CollectionPredicate(Expr):
+    """ANY / EVERY variable IN collection SATISFIES condition END."""
+
+    quantifier: str  # "ANY" | "EVERY"
+    variable: str
+    collection: Expr
+    condition: Expr
+
+
+@dataclass
+class ArrayComprehension(Expr):
+    """ARRAY output FOR variable IN collection [WHEN condition] END --
+    the construct in the paper's NEST example (section 3.2.3)."""
+
+    output: Expr
+    variable: str
+    collection: Expr
+    condition: Expr | None = None
+    distinct: bool = False
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Projection:
+    expr: Expr | None  # None for '*'
+    alias: str | None
+    star_of: str | None = None  # alias.* projections
+
+
+@dataclass
+class KeyspaceTerm:
+    """FROM bucket [AS alias] [USE KEYS expr]."""
+
+    keyspace: str
+    alias: str
+    use_keys: Expr | None = None
+
+
+@dataclass
+class JoinClause:
+    """[INNER|LEFT OUTER] JOIN bucket [AS alias] ON KEYS expr.
+
+    N1QL restricts joins to key-based lookups (section 3.2.4); the ON
+    KEYS expression is evaluated against the left-hand row and the
+    right-hand document(s) are fetched by primary key."""
+
+    keyspace: str
+    alias: str
+    on_keys: Expr
+    outer: bool = False  # LEFT OUTER
+
+
+@dataclass
+class NestClause:
+    keyspace: str
+    alias: str
+    on_keys: Expr
+    outer: bool = False
+
+
+@dataclass
+class UnnestClause:
+    expr: Expr
+    alias: str
+    outer: bool = False
+
+
+@dataclass
+class OrderTerm:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    projections: list[Projection]
+    distinct: bool = False
+    raw: bool = False
+    from_term: KeyspaceTerm | None = None
+    joins: list = field(default_factory=list)  # Join/Nest/Unnest in order
+    let_bindings: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderTerm] = field(default_factory=list)
+    limit: Expr | None = None
+    offset: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InsertStatement:
+    keyspace: str
+    #: (key expression, value expression) pairs from VALUES.
+    values: list[tuple[Expr, Expr]]
+    upsert: bool = False
+    returning: list[Projection] = field(default_factory=list)
+
+
+@dataclass
+class UpdateSet:
+    path: Expr  # Identifier / FieldAccess chain relative to the document
+    value: Expr
+
+
+@dataclass
+class UpdateStatement:
+    keyspace: str
+    alias: str
+    use_keys: Expr | None
+    sets: list[UpdateSet]
+    unsets: list[Expr]
+    where: Expr | None
+    limit: Expr | None
+    returning: list[Projection] = field(default_factory=list)
+
+
+@dataclass
+class DeleteStatement:
+    keyspace: str
+    alias: str
+    use_keys: Expr | None
+    where: Expr | None
+    limit: Expr | None
+    returning: list[Projection] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CreateIndexStatement:
+    name: str
+    keyspace: str
+    #: Key expressions; an ArrayComprehension marks an array index.
+    keys: list[Expr]
+    where: Expr | None = None
+    using: str = "gsi"  # "gsi" | "view"
+    with_options: dict = field(default_factory=dict)
+    key_sources: list[str] = field(default_factory=list)
+    where_source: str | None = None
+
+
+@dataclass
+class CreatePrimaryIndexStatement:
+    name: str | None
+    keyspace: str
+    using: str = "gsi"
+    with_options: dict = field(default_factory=dict)
+
+
+@dataclass
+class DropIndexStatement:
+    keyspace: str
+    name: str
+
+
+@dataclass
+class BuildIndexStatement:
+    keyspace: str
+    names: list[str]
+
+
+@dataclass
+class ExplainStatement:
+    statement: Any
+
+
+@dataclass
+class PrepareStatement:
+    name: str | None
+    statement: Any
+
+
+@dataclass
+class ExecuteStatement:
+    name: str
+
+
+Statement = (
+    SelectStatement | InsertStatement | UpdateStatement | DeleteStatement
+    | CreateIndexStatement | CreatePrimaryIndexStatement | DropIndexStatement
+    | BuildIndexStatement | ExplainStatement
+)

@@ -1,0 +1,7 @@
+"""Intra-cluster replication over DCP and client-side durability
+observation (sections 2.3.2, 4.1.1, 4.2)."""
+
+from .durability import DurabilityMonitor, DurabilityRequirement
+from .intra import IntraReplicator
+
+__all__ = ["DurabilityMonitor", "DurabilityRequirement", "IntraReplicator"]

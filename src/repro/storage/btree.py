@@ -1,0 +1,407 @@
+"""Append-only copy-on-write B+tree.
+
+This is the index structure inside each storage file, modeled on
+couchstore's: nodes are immutable records appended to the log, interior
+("key-pointer") entries carry a **pre-computed reduce value** for the
+subtree, and a batch update rewrites only the root-to-leaf paths it
+touches, yielding a new root pointer.  The view engine's headline feature
+-- *"a view index stores the pre-computed aggregates defined in the
+Reduce function as a part of the index tree; this allows for very fast
+aggregation at query time"* (section 4.3.3) -- falls directly out of the
+reduce annotations here.
+
+Keys and values are arbitrary JSON values; ordering is injected as a
+comparator so the same structure serves the by-key index (string doc
+IDs), the by-seqno index (integers), view indexes (view collation on
+[emitted_key, doc_id] pairs), and GSI indexes (N1QL collation).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterator
+
+from ..common.jsonval import JsonValue
+from .appendlog import RT_NODE, AppendLog
+
+Comparator = Callable[[JsonValue, JsonValue], int]
+ReduceFn = Callable[[list[JsonValue]], JsonValue]
+RereduceFn = Callable[[list[JsonValue]], JsonValue]
+
+
+def default_compare(a: JsonValue, b: JsonValue) -> int:
+    """Comparator for homogeneous keys (strings or numbers)."""
+    if a < b:  # type: ignore[operator]
+        return -1
+    if a > b:  # type: ignore[operator]
+        return 1
+    return 0
+
+
+class BTree:
+    """Handle to a tree rooted at ``root``; all mutation is functional --
+    :meth:`batch_update` returns a *new* :class:`BTree` sharing unchanged
+    nodes with the old one, which is what makes header-granularity
+    snapshots (MVCC reads during compaction and DCP backfill) free."""
+
+    #: Fan-out: maximum entries per node before it splits.  Couchstore
+    #: splits on a byte threshold; an item count keeps tests predictable.
+    MAX_NODE_ITEMS = 32
+
+    def __init__(
+        self,
+        log: AppendLog,
+        root: int | None = None,
+        compare: Comparator = default_compare,
+        reduce_fn: ReduceFn | None = None,
+        rereduce_fn: RereduceFn | None = None,
+        max_node_items: int | None = None,
+    ):
+        self.log = log
+        self.root = root
+        self.compare = compare
+        self.reduce_fn = reduce_fn
+        self.rereduce_fn = rereduce_fn
+        if max_node_items is not None:
+            self.max_node_items = max_node_items
+        else:
+            self.max_node_items = self.MAX_NODE_ITEMS
+
+    # -- node I/O -------------------------------------------------------------
+
+    def _write_node(self, kind: str, items: list) -> int:
+        body = json.dumps([kind, items], separators=(",", ":")).encode("utf-8")
+        return self.log.append(RT_NODE, body)
+
+    def _read_node(self, pointer: int) -> tuple[str, list]:
+        _rt, body = self.log.read(pointer)
+        kind, items = json.loads(body.decode("utf-8"))
+        return kind, items
+
+    # -- reduce ---------------------------------------------------------------
+
+    def _reduce_leaf(self, items: list) -> JsonValue:
+        if self.reduce_fn is None:
+            return None
+        return self.reduce_fn([value for _key, value in items])
+
+    def _rereduce(self, reductions: list) -> JsonValue:
+        if self.reduce_fn is None:
+            return None
+        rereduce = self.rereduce_fn if self.rereduce_fn is not None else self.reduce_fn
+        return rereduce(reductions)
+
+    # -- queries ---------------------------------------------------------------
+
+    def lookup(self, key: JsonValue) -> tuple[bool, JsonValue]:
+        """Point lookup; returns ``(found, value)``."""
+        pointer = self.root
+        while pointer is not None:
+            kind, items = self._read_node(pointer)
+            if kind == "kv":
+                for item_key, value in items:
+                    order = self.compare(item_key, key)
+                    if order == 0:
+                        return True, value
+                    if order > 0:
+                        break
+                return False, None
+            pointer = None
+            for last_key, child, _reduction in items:
+                if self.compare(key, last_key) <= 0:
+                    pointer = child
+                    break
+        return False, None
+
+    def range(
+        self,
+        start: JsonValue = None,
+        end: JsonValue = None,
+        *,
+        inclusive_start: bool = True,
+        inclusive_end: bool = True,
+        descending: bool = False,
+    ) -> Iterator[tuple[JsonValue, JsonValue]]:
+        """Yield ``(key, value)`` pairs with keys in [start, end].
+
+        ``None`` bounds mean unbounded on that side.  ``descending``
+        reverses the iteration order (section 3.1.2 allows descending
+        view scans)."""
+
+        def in_range(key: JsonValue) -> bool:
+            if start is not None:
+                order = self.compare(key, start)
+                if order < 0 or (order == 0 and not inclusive_start):
+                    return False
+            if end is not None:
+                order = self.compare(key, end)
+                if order > 0 or (order == 0 and not inclusive_end):
+                    return False
+            return True
+
+        def before_range(last_key: JsonValue) -> bool:
+            """Whole subtree ends before the range starts."""
+            if start is None:
+                return False
+            order = self.compare(last_key, start)
+            return order < 0 or (order == 0 and not inclusive_start)
+
+        def walk(pointer: int) -> Iterator[tuple[JsonValue, JsonValue]]:
+            kind, items = self._read_node(pointer)
+            if kind == "kv":
+                sequence = reversed(items) if descending else items
+                for key, value in sequence:
+                    if in_range(key):
+                        yield key, value
+            else:
+                candidates = []
+                for last_key, child, _reduction in items:
+                    if before_range(last_key):
+                        continue
+                    candidates.append((last_key, child))
+                    # Children are ordered; once a child's last key passes
+                    # the end bound, later children are entirely past it.
+                    if end is not None and self.compare(last_key, end) >= 0:
+                        break
+                if descending:
+                    candidates.reverse()
+                for _last_key, child in candidates:
+                    yield from walk(child)
+
+        if self.root is not None:
+            yield from walk(self.root)
+
+    def items(self) -> Iterator[tuple[JsonValue, JsonValue]]:
+        return self.range()
+
+    def count(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def full_reduce(self) -> JsonValue:
+        """Reduce value of the whole tree, O(1) from the root."""
+        if self.root is None:
+            return self._rereduce([]) if self.reduce_fn else None
+        kind, items = self._read_node(self.root)
+        if kind == "kv":
+            return self._reduce_leaf(items)
+        return self._rereduce([reduction for _k, _p, reduction in items])
+
+    def reduce_range(
+        self,
+        start: JsonValue = None,
+        end: JsonValue = None,
+        *,
+        inclusive_start: bool = True,
+        inclusive_end: bool = True,
+    ) -> JsonValue:
+        """Reduce over a key range, reusing subtree reductions whenever a
+        subtree lies entirely inside the range.  This is the "very fast
+        aggregation at query time" path: interior reductions are consumed
+        whole and only the boundary leaves are re-reduced."""
+        if self.reduce_fn is None:
+            raise ValueError("tree has no reduce function")
+
+        def key_in(key: JsonValue) -> bool:
+            if start is not None:
+                order = self.compare(key, start)
+                if order < 0 or (order == 0 and not inclusive_start):
+                    return False
+            if end is not None:
+                order = self.compare(key, end)
+                if order > 0 or (order == 0 and not inclusive_end):
+                    return False
+            return True
+
+        def walk(pointer: int, lower: JsonValue | None) -> JsonValue | None:
+            """Reduce the in-range part of the subtree at ``pointer``.
+            ``lower`` is the greatest last_key of any preceding sibling,
+            i.e. an exclusive lower bound on keys in this subtree."""
+            kind, items = self._read_node(pointer)
+            if kind == "kv":
+                values = [value for key, value in items if key_in(key)]
+                if not values:
+                    return None
+                return self.reduce_fn(values)
+            parts: list[JsonValue] = []
+            previous_last = lower
+            for last_key, child, reduction in items:
+                # Subtree covers keys in (previous_last, last_key].
+                subtree_entirely_inside = (
+                    (
+                        start is None
+                        or (
+                            previous_last is not None
+                            and (
+                                self.compare(previous_last, start) > 0
+                                or (
+                                    self.compare(previous_last, start) >= 0
+                                    and inclusive_start
+                                )
+                            )
+                        )
+                    )
+                    and (
+                        end is None
+                        or self.compare(last_key, end) < 0
+                        or (self.compare(last_key, end) == 0 and inclusive_end)
+                    )
+                )
+                subtree_before = start is not None and (
+                    self.compare(last_key, start) < 0
+                    or (self.compare(last_key, start) == 0 and not inclusive_start)
+                )
+                subtree_after = (
+                    end is not None
+                    and previous_last is not None
+                    and (
+                        self.compare(previous_last, end) > 0
+                        or (self.compare(previous_last, end) == 0 and not inclusive_end)
+                    )
+                )
+                if subtree_before or subtree_after:
+                    previous_last = last_key
+                    continue
+                if subtree_entirely_inside:
+                    parts.append(reduction)
+                else:
+                    partial = walk(child, previous_last)
+                    if partial is not None:
+                        parts.append(partial)
+                previous_last = last_key
+            if not parts:
+                return None
+            return self._rereduce(parts)
+
+        if self.root is None:
+            return self._rereduce([])
+        result = walk(self.root, None)
+        return result if result is not None else self._rereduce([])
+
+    # -- batch update ---------------------------------------------------------
+
+    def batch_update(
+        self,
+        inserts: list[tuple[JsonValue, JsonValue]] | None = None,
+        deletes: list[JsonValue] | None = None,
+    ) -> "BTree":
+        """Apply upserts and deletes in one pass; returns the new tree.
+
+        An insert with an existing key replaces its value.  Deletes of
+        absent keys are ignored.  Only the touched root-to-leaf paths are
+        rewritten (append-only copy-on-write)."""
+        actions: dict = {}
+        ordered_keys: list[JsonValue] = []
+
+        def key_token(key: JsonValue):
+            return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+        tokens: dict[str, JsonValue] = {}
+        for key in deletes or []:
+            token = key_token(key)
+            if token not in tokens:
+                tokens[token] = key
+                ordered_keys.append(key)
+            actions[token] = ("delete", None)
+        for key, value in inserts or []:
+            token = key_token(key)
+            if token not in tokens:
+                tokens[token] = key
+                ordered_keys.append(key)
+            actions[token] = ("insert", value)
+        if not actions:
+            return self
+
+        import functools
+        ordered_keys.sort(key=functools.cmp_to_key(self.compare))
+        work = [(key, *actions[key_token(key)]) for key in ordered_keys]
+
+        new_root = self._modify_root(work)
+        return BTree(
+            self.log,
+            new_root,
+            self.compare,
+            self.reduce_fn,
+            self.rereduce_fn,
+            self.max_node_items,
+        )
+
+    # Internal: each _modify_* returns a list of kp entries
+    # [last_key, pointer, reduction] describing the replacement nodes.
+
+    def _write_leaves(self, items: list) -> list:
+        entries = []
+        for chunk in _chunks(items, self.max_node_items):
+            pointer = self._write_node("kv", chunk)
+            entries.append([chunk[-1][0], pointer, self._reduce_leaf(chunk)])
+        return entries
+
+    def _write_interiors(self, kp_entries: list) -> list:
+        entries = []
+        for chunk in _chunks(kp_entries, self.max_node_items):
+            pointer = self._write_node("kp", chunk)
+            reduction = self._rereduce([r for _k, _p, r in chunk])
+            entries.append([chunk[-1][0], pointer, reduction])
+        return entries
+
+    def _modify_leaf(self, items: list, work: list) -> list:
+        merged: list = []
+        index = 0
+        for action_key, action, value in work:
+            while index < len(items) and self.compare(items[index][0], action_key) < 0:
+                merged.append(items[index])
+                index += 1
+            if index < len(items) and self.compare(items[index][0], action_key) == 0:
+                index += 1  # replaced or deleted
+            if action == "insert":
+                merged.append([action_key, value])
+        merged.extend(items[index:])
+        if not merged:
+            return []
+        return self._write_leaves(merged)
+
+    def _modify_node(self, pointer: int, work: list) -> list:
+        """Rewrite the node at ``pointer`` with ``work`` applied; returns
+        the kp entries of its replacement node(s) *at the same level* --
+        one entry normally, several after a split, none when emptied.
+        Keeping levels uniform is what stops repeated batches from
+        skewing the tree's depth."""
+        kind, items = self._read_node(pointer)
+        if kind == "kv":
+            return self._modify_leaf(items, work)
+        child_entries: list = []
+        work_index = 0
+        for child_index, (last_key, child, reduction) in enumerate(items):
+            is_last_child = child_index == len(items) - 1
+            child_work = []
+            while work_index < len(work) and (
+                is_last_child or self.compare(work[work_index][0], last_key) <= 0
+            ):
+                child_work.append(work[work_index])
+                work_index += 1
+            if child_work:
+                child_entries.extend(self._modify_node(child, child_work))
+            else:
+                child_entries.append([last_key, child, reduction])
+        if not child_entries:
+            return []
+        return self._write_interiors(child_entries)
+
+    def _modify_root(self, work: list) -> int | None:
+        if self.root is None:
+            inserts = [[k, v] for k, action, v in work if action == "insert"]
+            entries = self._write_leaves(inserts) if inserts else []
+        else:
+            entries = self._modify_node(self.root, work)
+        if not entries:
+            return None
+        while len(entries) > 1:
+            entries = self._write_interiors(entries)
+        last_key, pointer, _reduction = entries[0]
+        # A single kp entry may still point at a leaf or interior node;
+        # either is a valid root.
+        return pointer
+
+
+def _chunks(items: list, size: int) -> Iterator[list]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]

@@ -1,0 +1,193 @@
+"""Per-vBucket storage files.
+
+Each vBucket persists to its own append-only file (as couchstore does),
+containing three kinds of records: document bodies, B-tree nodes, and
+**headers**.  A header names the roots of the two indexes -- the by-key
+tree (doc ID -> document location + metadata) and the by-seqno tree
+(mutation seqno -> doc ID) -- plus the vBucket's high seqno and counters.
+Because trees are copy-on-write, a header is a consistent snapshot: DCP
+backfill and compaction read from a header while the writer keeps
+appending (section 4.3.3).
+
+Recovery after a crash scans for the last intact header and truncates
+everything after it; un-headered appends are exactly the writes whose
+persistence the client never observed (section 2.3.2's durability
+options are what let a client *choose* to observe it).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..common.disk import SimulatedDisk
+from ..common.document import Document, DocumentMeta
+from ..common.errors import KeyNotFoundError
+from ..common.jsonval import JsonValue
+from .appendlog import RT_DOC, RT_HEADER, AppendLog
+from .btree import BTree
+
+
+class VBucketStore:
+    """Storage engine instance for one vBucket."""
+
+    def __init__(self, disk: SimulatedDisk, filename: str, vbucket_id: int):
+        self.disk = disk
+        self.filename = filename
+        self.vbucket_id = vbucket_id
+        self.log = AppendLog(disk.open(filename))
+        self.by_key = BTree(self.log)
+        self.by_seq = BTree(self.log)
+        #: Highest seqno persisted (and headered) in this file.
+        self.update_seq = 0
+        self.doc_count = 0
+        self.deleted_count = 0
+        #: Bytes of live (reachable from the current header) doc bodies;
+        #: the numerator of the fragmentation computation.
+        self.live_size = 0
+        self._recover()
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover(self) -> None:
+        found = self.log.find_last_header()
+        if found is None:
+            if self.log.size:
+                # File exists but has no intact header: treat as empty.
+                self.log.file.truncate(0)
+            return
+        offset, body = found
+        header = json.loads(body.decode("utf-8"))
+        # Truncate everything after the header record: those are appends
+        # that never reached a commit point.
+        from .appendlog import _HEADER  # framing struct
+        self.log.file.truncate(offset + _HEADER.size + len(body))
+        self.by_key = BTree(self.log, header["by_key_root"])
+        self.by_seq = BTree(self.log, header["by_seq_root"])
+        self.update_seq = header["update_seq"]
+        self.doc_count = header["doc_count"]
+        self.deleted_count = header["deleted_count"]
+        self.live_size = header["live_size"]
+
+    # -- write path -------------------------------------------------------------
+
+    def save_docs(self, docs: list[Document]) -> None:
+        """Persist a batch of mutations (the flusher's unit of work).
+
+        Every doc must already carry its assigned seqno.  Repeated
+        updates to one key within the batch are deduplicated to the
+        newest -- the paper's point that asynchrony lets "repeated updates
+        to an object be aggregated at the level of persistence"
+        (section 2.3.2)."""
+        if not docs:
+            return
+        newest: dict[str, Document] = {}
+        for doc in docs:
+            newest[doc.key] = doc
+        key_inserts: list[tuple[JsonValue, JsonValue]] = []
+        seq_inserts: list[tuple[JsonValue, JsonValue]] = []
+        seq_deletes: list[JsonValue] = []
+        for doc in newest.values():
+            meta = doc.meta
+            body = json.dumps(
+                [
+                    meta.key,
+                    doc.value,
+                    meta.cas,
+                    meta.seqno,
+                    meta.rev,
+                    meta.expiry,
+                    meta.flags,
+                    meta.deleted,
+                ],
+                separators=(",", ":"),
+            ).encode("utf-8")
+            pointer = self.log.append(RT_DOC, body)
+            found, old = self.by_key.lookup(meta.key)
+            if found:
+                seq_deletes.append(old["seq"])
+                self.live_size -= old["size"]
+                if old["del"]:
+                    self.deleted_count -= 1
+                else:
+                    self.doc_count -= 1
+            entry = {
+                "ptr": pointer,
+                "seq": meta.seqno,
+                "size": len(body),
+                "del": meta.deleted,
+            }
+            key_inserts.append((meta.key, entry))
+            seq_inserts.append((meta.seqno, {"key": meta.key, "ptr": pointer,
+                                             "del": meta.deleted}))
+            self.live_size += len(body)
+            if meta.deleted:
+                self.deleted_count += 1
+            else:
+                self.doc_count += 1
+            self.update_seq = max(self.update_seq, meta.seqno)
+        self.by_key = self.by_key.batch_update(inserts=key_inserts)
+        self.by_seq = self.by_seq.batch_update(
+            inserts=seq_inserts, deletes=seq_deletes
+        )
+
+    def write_header(self, sync: bool = True) -> None:
+        """Commit point: append a header naming the current tree roots."""
+        header = {
+            "by_key_root": self.by_key.root,
+            "by_seq_root": self.by_seq.root,
+            "update_seq": self.update_seq,
+            "doc_count": self.doc_count,
+            "deleted_count": self.deleted_count,
+            "live_size": self.live_size,
+            "vbucket_id": self.vbucket_id,
+        }
+        self.log.append(RT_HEADER, json.dumps(header, separators=(",", ":")).encode())
+        if sync:
+            self.log.sync()
+
+    # -- read path ---------------------------------------------------------------
+
+    def _load_doc(self, pointer: int) -> Document:
+        _rt, body = self.log.read(pointer)
+        key, value, cas, seqno, rev, expiry, flags, deleted = json.loads(body)
+        meta = DocumentMeta(
+            key=key, cas=cas, seqno=seqno, rev=rev, expiry=expiry,
+            flags=flags, deleted=deleted, vbucket_id=self.vbucket_id,
+        )
+        return Document(meta, value)
+
+    def get(self, key: str, include_deleted: bool = False) -> Document:
+        found, entry = self.by_key.lookup(key)
+        if not found or (entry["del"] and not include_deleted):
+            raise KeyNotFoundError(key)
+        return self._load_doc(entry["ptr"])
+
+    def contains(self, key: str) -> bool:
+        found, entry = self.by_key.lookup(key)
+        return found and not entry["del"]
+
+    def changes_since(self, seqno: int):
+        """Yield persisted documents with seqno strictly greater than
+        ``seqno``, in seqno order -- the DCP backfill scan."""
+        for _seq, entry in self.by_seq.range(start=seqno, inclusive_start=False):
+            yield self._load_doc(entry["ptr"])
+
+    def all_docs(self, include_deleted: bool = False):
+        """Scan every live document in key order (PrimaryScan substrate)."""
+        for key, entry in self.by_key.items():
+            if entry["del"] and not include_deleted:
+                continue
+            yield self._load_doc(entry["ptr"])
+
+    # -- sizing -----------------------------------------------------------------
+
+    @property
+    def file_size(self) -> int:
+        return self.log.size
+
+    def fragmentation(self) -> float:
+        """Fraction of the file that is garbage (old doc versions, dead
+        tree nodes).  The compactor triggers past a threshold on this."""
+        if self.log.size == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.live_size / self.log.size)

@@ -1,0 +1,27 @@
+"""The view engine: local map/reduce indexes with pre-computed
+aggregates, incremental DCP-fed maintenance, configurable staleness, and
+scatter/gather querying (sections 3.1.2 and 4.3.3)."""
+
+from .engine import ViewEngine
+from .mapreduce import (
+    BUILTIN_REDUCES,
+    DocMetaView,
+    ViewDefinition,
+    attribute_view,
+    primary_view,
+)
+from .query import ViewQueryCoordinator, ViewResult
+from .viewindex import ViewIndex, ViewQueryParams
+
+__all__ = [
+    "BUILTIN_REDUCES",
+    "DocMetaView",
+    "ViewDefinition",
+    "ViewEngine",
+    "ViewIndex",
+    "ViewQueryCoordinator",
+    "ViewQueryParams",
+    "ViewResult",
+    "attribute_view",
+    "primary_view",
+]

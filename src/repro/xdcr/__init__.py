@@ -1,0 +1,7 @@
+"""Cross datacenter replication: per-bucket, filtered, topology-aware
+replication between clusters with deterministic conflict resolution
+(section 4.6)."""
+
+from .replicator import XdcrReplication, settle
+
+__all__ = ["XdcrReplication", "settle"]

@@ -1,0 +1,45 @@
+"""YCSB (Yahoo! Cloud Serving Benchmark) harness: generators, core
+workloads A-F, the client adapter (KV ops + the paper's N1QL scan
+query), and the measured-service-time + closed-MVA thread-sweep model
+used to regenerate Figures 15 and 16 (appendix 10.1)."""
+
+from .client import SCAN_QUERY, YcsbClient
+from .generators import (
+    CounterGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv_hash_64,
+    make_request_generator,
+)
+from .runner import (
+    ClusterModel,
+    SweepPoint,
+    measure_service_time,
+    mva_throughput,
+    run_sweep,
+    sweep_threads,
+)
+from .workload import (
+    WORKLOADS,
+    CoreWorkload,
+    Operation,
+    WorkloadConfig,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_d,
+    workload_e,
+    workload_f,
+)
+
+__all__ = [
+    "CoreWorkload", "ClusterModel", "CounterGenerator", "LatestGenerator",
+    "Operation", "SCAN_QUERY", "ScrambledZipfianGenerator", "SweepPoint",
+    "UniformGenerator", "WORKLOADS", "WorkloadConfig", "YcsbClient",
+    "ZipfianGenerator", "fnv_hash_64", "make_request_generator",
+    "measure_service_time", "mva_throughput", "run_sweep", "sweep_threads",
+    "workload_a", "workload_b", "workload_c", "workload_d", "workload_e",
+    "workload_f",
+]

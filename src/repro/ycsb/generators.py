@@ -1,0 +1,143 @@
+"""YCSB request-distribution generators.
+
+Ports of the generators from the Yahoo! Cloud Serving Benchmark [14]
+(Cooper et al., SoCC 2010) that the paper's appendix uses: uniform,
+zipfian (Gray et al.'s rejection-free algorithm with precomputed zeta),
+scrambled zipfian (zipfian popularity spread over the key space by
+hashing), latest (favors recently inserted records), and the insert-key
+counter.  All are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
+FNV_PRIME_64 = 0x100000001B3
+
+
+def fnv_hash_64(value: int) -> int:
+    """FNV-1 hash of an integer's bytes, exactly as YCSB's Utils.FNVhash64."""
+    hashed = FNV_OFFSET_BASIS_64
+    for _ in range(8):
+        octet = value & 0xFF
+        hashed = (hashed ^ octet) * FNV_PRIME_64 & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return hashed
+
+
+class UniformGenerator:
+    """Uniform over [lower, upper] inclusive."""
+
+    def __init__(self, lower: int, upper: int, seed: int = 0):
+        if upper < lower:
+            raise ValueError("upper must be >= lower")
+        self.lower = lower
+        self.upper = upper
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randint(self.lower, self.upper)
+
+
+class CounterGenerator:
+    """Monotone counter used for insert keys."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def last(self) -> int:
+        return self._next - 1
+
+
+class ZipfianGenerator:
+    """Zipfian over [0, items): item 0 is the most popular.
+
+    Uses the Gray et al. "Quickly generating billion-record synthetic
+    databases" method YCSB ships: constants eta/alpha/zeta(n) computed
+    once, then each draw is O(1).
+    """
+
+    ZIPFIAN_CONSTANT = 0.99
+
+    def __init__(self, items: int, theta: float | None = None, seed: int = 0):
+        if items < 1:
+            raise ValueError("need at least one item")
+        self.items = items
+        self.theta = theta if theta is not None else self.ZIPFIAN_CONSTANT
+        self._rng = random.Random(seed)
+        self.zeta_n = self._zeta(items, self.theta)
+        self.zeta_2 = self._zeta(2, self.theta)
+        self.alpha = 1.0 / (1.0 - self.theta)
+        self.eta = (
+            (1 - (2.0 / items) ** (1 - self.theta))
+            / (1 - self.zeta_2 / self.zeta_n)
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.items * (self.eta * u - self.eta + 1) ** self.alpha
+        )
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity scattered across the key space by FNV hashing,
+    so the hot keys are not clustered -- YCSB's default for workloads A/B."""
+
+    def __init__(self, items: int, seed: int = 0):
+        self.items = items
+        self._zipfian = ZipfianGenerator(items, seed=seed)
+
+    def next(self) -> int:
+        return fnv_hash_64(self._zipfian.next()) % self.items
+
+
+class LatestGenerator:
+    """Skews toward the most recently inserted record (workload D)."""
+
+    def __init__(self, counter: CounterGenerator, seed: int = 0):
+        self._counter = counter
+        self._seed = seed
+        self._zipfian: ZipfianGenerator | None = None
+        self._zipfian_items = 0
+
+    def next(self) -> int:
+        last = max(0, self._counter.last())
+        items = last + 1
+        if self._zipfian is None or items > self._zipfian_items * 2 \
+                or self._zipfian_items == 0:
+            self._zipfian = ZipfianGenerator(max(1, items), seed=self._seed)
+            self._zipfian_items = items
+        offset = self._zipfian.next()
+        return max(0, last - (offset % items))
+
+
+def make_request_generator(kind: str, items: int,
+                           insert_counter: CounterGenerator | None = None,
+                           seed: int = 0):
+    """Factory for the request-key distribution named in a workload
+    config ("uniform", "zipfian", or "latest")."""
+    if kind == "uniform":
+        return UniformGenerator(0, items - 1, seed=seed)
+    if kind == "zipfian":
+        return ScrambledZipfianGenerator(items, seed=seed)
+    if kind == "latest":
+        if insert_counter is None:
+            raise ValueError("latest distribution needs the insert counter")
+        return LatestGenerator(insert_counter, seed=seed)
+    raise ValueError(f"unknown request distribution {kind!r}")

@@ -1,0 +1,198 @@
+"""YCSB core workloads.
+
+The paper's appendix runs workloads A (50% read / 50% update, the
+"session store" mix) and E (short range scans via N1QL) against a
+4-node cluster.  This module reproduces YCSB's CoreWorkload: record
+generation (10 fields x 100 bytes by default), key naming, operation
+mix, and the standard workload presets A-F.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .generators import (
+    CounterGenerator,
+    UniformGenerator,
+    fnv_hash_64,
+    make_request_generator,
+)
+
+
+@dataclass
+class WorkloadConfig:
+    name: str
+    read_proportion: float = 0.0
+    update_proportion: float = 0.0
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    read_modify_write_proportion: float = 0.0
+    request_distribution: str = "zipfian"
+    record_count: int = 1000
+    field_count: int = 10
+    field_length: int = 100
+    max_scan_length: int = 100
+    #: YCSB insertorder: "hashed" spreads keys, "ordered" keeps them
+    #: sortable (what range-scan workloads need).
+    insert_order: str = "hashed"
+
+    def __post_init__(self):
+        total = (self.read_proportion + self.update_proportion
+                 + self.insert_proportion + self.scan_proportion
+                 + self.read_modify_write_proportion)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation proportions must sum to 1, got {total}")
+
+
+def workload_a(record_count: int = 1000, **overrides) -> WorkloadConfig:
+    """Update heavy: 50/50 read/update, zipfian (the paper's Figure 15)."""
+    return WorkloadConfig(
+        name="A", read_proportion=0.5, update_proportion=0.5,
+        record_count=record_count, **overrides,
+    )
+
+
+def workload_b(record_count: int = 1000, **overrides) -> WorkloadConfig:
+    """Read mostly: 95/5 read/update."""
+    return WorkloadConfig(
+        name="B", read_proportion=0.95, update_proportion=0.05,
+        record_count=record_count, **overrides,
+    )
+
+
+def workload_c(record_count: int = 1000, **overrides) -> WorkloadConfig:
+    """Read only."""
+    return WorkloadConfig(
+        name="C", read_proportion=1.0, record_count=record_count, **overrides,
+    )
+
+
+def workload_d(record_count: int = 1000, **overrides) -> WorkloadConfig:
+    """Read latest: 95% reads skewed to fresh inserts."""
+    return WorkloadConfig(
+        name="D", read_proportion=0.95, insert_proportion=0.05,
+        request_distribution="latest", record_count=record_count, **overrides,
+    )
+
+
+def workload_e(record_count: int = 1000, **overrides) -> WorkloadConfig:
+    """Short ranges: 95% scans of up to 100 records (the paper's
+    Figure 16, executed through N1QL)."""
+    overrides.setdefault("insert_order", "ordered")
+    return WorkloadConfig(
+        name="E", scan_proportion=0.95, insert_proportion=0.05,
+        request_distribution="uniform", record_count=record_count,
+        **overrides,
+    )
+
+
+def workload_f(record_count: int = 1000, **overrides) -> WorkloadConfig:
+    """Read-modify-write."""
+    return WorkloadConfig(
+        name="F", read_proportion=0.5, read_modify_write_proportion=0.5,
+        record_count=record_count, **overrides,
+    )
+
+
+WORKLOADS = {
+    "A": workload_a, "B": workload_b, "C": workload_c,
+    "D": workload_d, "E": workload_e, "F": workload_f,
+}
+
+
+@dataclass
+class Operation:
+    kind: str                  # read | update | insert | scan | rmw
+    key: str
+    fields: dict | None = None  # for update/insert/rmw
+    scan_length: int = 0
+
+
+class CoreWorkload:
+    """Generates keys, records, and the operation stream."""
+
+    def __init__(self, config: WorkloadConfig, seed: int = 42):
+        self.config = config
+        self._rng = random.Random(seed)
+        self._insert_counter = CounterGenerator(config.record_count)
+        self._request = make_request_generator(
+            config.request_distribution, config.record_count,
+            self._insert_counter, seed=seed,
+        )
+        self._scan_length = UniformGenerator(1, config.max_scan_length,
+                                             seed=seed + 1)
+        self._choices = []
+        for kind, proportion in (
+            ("read", config.read_proportion),
+            ("update", config.update_proportion),
+            ("insert", config.insert_proportion),
+            ("scan", config.scan_proportion),
+            ("rmw", config.read_modify_write_proportion),
+        ):
+            if proportion > 0:
+                self._choices.append((kind, proportion))
+
+    # -- keys and records -------------------------------------------------------
+
+    def key_for(self, index: int) -> str:
+        if self.config.insert_order == "hashed":
+            index = fnv_hash_64(index)
+        return f"user{index:019d}"
+
+    def build_record(self) -> dict:
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        return {
+            f"field{i}": "".join(
+                self._rng.choice(alphabet)
+                for _ in range(self.config.field_length)
+            )
+            for i in range(self.config.field_count)
+        }
+
+    def build_update(self) -> dict:
+        """YCSB updates write one random field."""
+        field_index = self._rng.randrange(self.config.field_count)
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        return {
+            f"field{field_index}": "".join(
+                self._rng.choice(alphabet)
+                for _ in range(self.config.field_length)
+            )
+        }
+
+    def load_keys(self) -> list[str]:
+        return [self.key_for(i) for i in range(self.config.record_count)]
+
+    # -- the operation stream ----------------------------------------------------
+
+    def _choose_kind(self) -> str:
+        roll = self._rng.random()
+        acc = 0.0
+        for kind, proportion in self._choices:
+            acc += proportion
+            if roll < acc:
+                return kind
+        return self._choices[-1][0]
+
+    def _next_existing_key(self) -> str:
+        index = self._request.next()
+        bound = self._insert_counter.last() + 1
+        return self.key_for(index % max(1, bound))
+
+    def next_operation(self) -> Operation:
+        kind = self._choose_kind()
+        if kind == "read":
+            return Operation("read", self._next_existing_key())
+        if kind == "update":
+            return Operation("update", self._next_existing_key(),
+                             fields=self.build_update())
+        if kind == "insert":
+            index = self._insert_counter.next()
+            return Operation("insert", self.key_for(index),
+                             fields=self.build_record())
+        if kind == "scan":
+            return Operation("scan", self._next_existing_key(),
+                             scan_length=self._scan_length.next())
+        return Operation("rmw", self._next_existing_key(),
+                         fields=self.build_update())

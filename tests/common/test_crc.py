@@ -1,0 +1,62 @@
+"""Tests for the from-scratch CRC32 and the key -> vBucket fold."""
+
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.crc import crc32, vbucket_for_key
+
+
+class TestCrc32:
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    def test_known_vector(self):
+        # Standard CRC-32 check value for "123456789".
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib_on_samples(self):
+        for sample in [b"a", b"hello world", b"\x00\xff" * 100, b"key::123"]:
+            assert crc32(sample) == zlib.crc32(sample)
+
+    @given(st.binary(max_size=256))
+    def test_matches_zlib_property(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_streaming_continuation(self, a, b):
+        assert crc32(b, crc32(a)) == zlib.crc32(b, zlib.crc32(a))
+
+
+class TestVBucketMapping:
+    def test_deterministic(self):
+        assert vbucket_for_key("user::1", 1024) == vbucket_for_key("user::1", 1024)
+
+    def test_str_and_bytes_agree(self):
+        assert vbucket_for_key("abc", 1024) == vbucket_for_key(b"abc", 1024)
+
+    def test_in_range(self):
+        for i in range(1000):
+            assert 0 <= vbucket_for_key(f"key{i}", 64) < 64
+
+    @given(st.text(max_size=64), st.sampled_from([16, 64, 256, 1024]))
+    def test_in_range_property(self, key, vbuckets):
+        assert 0 <= vbucket_for_key(key, vbuckets) < vbuckets
+
+    def test_spread_is_reasonably_uniform(self):
+        """10k sequential keys over 64 vBuckets: no partition should be
+        wildly over- or under-loaded (the paper relies on CRC32 spreading
+        load evenly across partitions, section 4.1)."""
+        counts = [0] * 64
+        for i in range(10_000):
+            counts[vbucket_for_key(f"user::{i}", 64)] += 1
+        expected = 10_000 / 64
+        assert min(counts) > expected * 0.5
+        assert max(counts) < expected * 1.5
+
+    def test_known_libcouchbase_fold(self):
+        # The fold must use bits 16..30 of the digest.
+        digest = crc32(b"somekey")
+        assert vbucket_for_key("somekey", 1024) == ((digest >> 16) & 0x7FFF) % 1024

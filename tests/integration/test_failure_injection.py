@@ -1,0 +1,199 @@
+"""Failure-injection tests: partitions, divergent replicas, durability
+under failures, service loss, and crash-recovery of the whole node."""
+
+import pytest
+
+from repro import Cluster
+from repro.common.errors import (
+    DurabilityError,
+    KeyNotFoundError,
+    NodeDownError,
+    ServiceUnavailableError,
+)
+from repro.kv.engine import VBucketState
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=16)
+    cluster.create_bucket("b", replicas=1)
+    return cluster
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.connect()
+
+
+class TestPartitions:
+    def test_client_partitioned_from_one_node_still_reads_after_failover(
+        self, cluster, client
+    ):
+        for i in range(30):
+            client.upsert("b", f"k{i}", {"i": i})
+        cluster.run_until_idle()
+        # Partition node2 away from everything (clients and peers).
+        cluster.crash_node("node2")
+        cluster.tick(31.0)  # auto-failover
+        for i in range(30):
+            assert client.get("b", f"k{i}").value == {"i": i}
+
+    def test_replication_stalls_through_partition_then_catches_up(
+        self, cluster, client
+    ):
+        client.upsert("b", "pre", 1)
+        cluster.run_until_idle()
+        # Partition node1 <-> node2: replication between them stalls but
+        # neither is "down".
+        cluster.network.partition("node1", "node2")
+        client.upsert("b", "during", 2)
+        cluster.run_until_idle()
+        cluster.network.heal()
+        cluster.run_until_idle()
+        # After healing, every replica converges.
+        total_replica_docs = sum(
+            sum(1 for _k, e in cluster.node(f"node{n}").engines["b"]
+                .vbuckets[vb].hashtable.items() if not e.doc.meta.deleted)
+            for n in (1, 2, 3)
+            for vb in cluster.node(f"node{n}").engines["b"]
+            .owned_vbuckets(VBucketState.REPLICA)
+        )
+        assert total_replica_docs == 2
+
+    def test_durability_fails_when_replica_unreachable(self, cluster, client):
+        result_key = "needs-replica"
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = cluster_map.vbucket_for_key(result_key)
+        replica_node = cluster_map.replica_nodes(vb)[0]
+        cluster.network.set_down(replica_node)
+        with pytest.raises(DurabilityError):
+            client.upsert("b", result_key, {"v": 1}, replicate_to=1)
+        # The write itself still took effect on the active (durability is
+        # an observation, not a transaction).
+        cluster.network.set_down(replica_node, False)
+        assert client.get("b", result_key).value == {"v": 1}
+
+
+class TestDivergentReplica:
+    def test_replica_ahead_of_new_active_is_reset(self, cluster, client):
+        """Failover promotes the least-caught-up copy; the old (ahead)
+        replica must be detected via the DCP rollback path and rebuilt."""
+        for i in range(20):
+            client.upsert("b", f"k{i}", {"i": i})
+        cluster.run_until_idle()
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = cluster_map.vbucket_for_key("k0")
+        active = cluster_map.active_node(vb)
+        replica = cluster_map.replica_nodes(vb)[0]
+        # Replica "hears" extra mutations the active never had (simulates
+        # a divergent history after a botched failover).
+        replica_engine = cluster.node(replica).engines["b"]
+        replica_vb = replica_engine.vbuckets[vb]
+        from repro.common.document import Document, DocumentMeta
+        replica_engine.apply_replicated(vb, Document(
+            DocumentMeta(key="phantom", cas=10**12,
+                         seqno=replica_vb.high_seqno + 100, rev=1),
+            {"phantom": True},
+        ))
+        assert replica_vb.high_seqno > \
+            cluster.node(active).engines["b"].vbuckets[vb].high_seqno
+        # Force the replicator to re-derive streams: bump map revision.
+        cluster.manager.cluster_maps["b"].revision += 1
+        cluster.manager.push_map("b")
+        cluster.run_until_idle()
+        # The divergent replica was reset and rebuilt from the active:
+        # the phantom is gone and real data is present.
+        new_vb = cluster.node(replica).engines["b"].vbuckets[vb]
+        assert new_vb.hashtable.peek("phantom") is None
+        for i in range(20):
+            cluster_map2 = cluster.manager.cluster_maps["b"]
+            if cluster_map2.vbucket_for_key(f"k{i}") == vb:
+                assert new_vb.hashtable.peek(f"k{i}") is not None
+
+
+class TestServiceLoss:
+    def test_query_routing_fails_over_to_surviving_query_node(self):
+        cluster = Cluster(
+            nodes=[("d1", {"data"}), ("q1", {"query"}), ("q2", {"query"}),
+                   ("i1", {"index"})],
+            vbuckets=8,
+        )
+        cluster.create_bucket("b", replicas=0)
+        client = cluster.connect()
+        client.upsert("b", "k", {"v": 1})
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        assert cluster.service_node.__self__ is cluster  # sanity
+        cluster.network.set_down("q1")
+        rows = cluster.query("SELECT x.v FROM b x",
+                             scan_consistency="request_plus").rows
+        assert rows == [{"v": 1}]
+
+    def test_all_query_nodes_down(self):
+        cluster = Cluster(
+            nodes=[("d1", {"data"}), ("q1", {"query"})], vbuckets=8,
+        )
+        cluster.create_bucket("b", replicas=0)
+        cluster.network.set_down("q1")
+        with pytest.raises(ServiceUnavailableError):
+            cluster.query("SELECT 1")
+
+    def test_gsi_scan_with_index_node_down(self):
+        cluster = Cluster(
+            nodes=[("d1", {"data"}), ("i1", {"index"}), ("q1", {"query"})],
+            vbuckets=8,
+        )
+        cluster.create_bucket("b", replicas=0)
+        client = cluster.connect()
+        for i in range(5):
+            client.upsert("b", f"k{i}", {"v": i})
+        cluster.query("CREATE INDEX by_v ON b(v) USING GSI")
+        cluster.network.set_down("i1")
+        # Scans fan out to reachable index nodes; with the only one down
+        # the scan returns nothing rather than crashing.
+        rows = cluster.gsi.scan("by_v")
+        assert rows == []
+
+
+class TestNodeCrashRecovery:
+    def test_node_process_crash_loses_memory_keeps_disk(self, cluster, client):
+        """Crash = lose unsynced disk bytes + all memory.  Recovery rebuilds
+        engines from the storage files (what survives is what the flusher
+        committed)."""
+        client.upsert("b", "durable", {"v": 1}, persist_to=1)
+        result_key_map = cluster.manager.cluster_maps["b"]
+        vb = result_key_map.vbucket_for_key("durable")
+        node_name = result_key_map.active_node(vb)
+        node = cluster.node(node_name)
+        node.disk.crash()
+        # Reopen the store the way a restarting node would.
+        from repro.storage.couchstore import VBucketStore
+        reopened = VBucketStore(node.disk, f"b/vb{vb}.couch", vb)
+        assert reopened.get("durable").value == {"v": 1}
+
+    def test_unpersisted_write_lost_on_crash(self, cluster, client):
+        client.upsert("b", "volatile", {"v": 1})  # memory-only ack
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = cluster_map.vbucket_for_key("volatile")
+        node = cluster.node(cluster_map.active_node(vb))
+        # Crash before any flusher round runs.
+        node.disk.crash()
+        from repro.storage.couchstore import VBucketStore
+        reopened = VBucketStore(node.disk, f"b/vb{vb}.couch", vb)
+        assert not reopened.contains("volatile")
+
+
+class TestStaleClients:
+    def test_many_clients_survive_serial_topology_changes(self, cluster):
+        clients = [cluster.connect() for _ in range(4)]
+        for i, c in enumerate(clients):
+            c.upsert("b", f"seed{i}", {"i": i})
+        cluster.run_until_idle()
+        cluster.add_node("node4")
+        cluster.rebalance()
+        cluster.failover("node2")
+        cluster.rebalance()
+        for i, c in enumerate(clients):
+            assert c.get("b", f"seed{i}").value == {"i": i}
+            c.upsert("b", f"seed{i}", {"i": i, "updated": True})
+        for i, c in enumerate(clients):
+            assert c.get("b", f"seed{i}").value["updated"]

@@ -1,0 +1,143 @@
+"""Direct unit tests for the per-vBucket hash table: NRU tracking,
+memory accounting, and ejection rules."""
+
+import pytest
+
+from repro.common.document import Document, DocumentMeta
+from repro.kv.hashtable import HashTable
+
+
+def make_doc(key="k", value=None, seqno=1, deleted=False):
+    return Document(
+        DocumentMeta(key=key, cas=seqno, seqno=seqno, rev=1, deleted=deleted),
+        value if not deleted else None,
+    )
+
+
+class TestBasics:
+    def test_set_and_get(self):
+        table = HashTable(0)
+        table.set(make_doc("a", {"x": 1}), dirty=True)
+        assert "a" in table
+        assert table.get("a").doc.value == {"x": 1}
+        assert len(table) == 1
+
+    def test_get_missing(self):
+        assert HashTable(0).get("ghost") is None
+
+    def test_remove(self):
+        table = HashTable(0)
+        table.set(make_doc("a", 1), dirty=False)
+        table.remove("a")
+        assert "a" not in table
+        assert table.memory_used == 0
+
+    def test_remove_missing_is_noop(self):
+        HashTable(0).remove("ghost")
+
+    def test_clear(self):
+        table = HashTable(0)
+        table.set(make_doc("a", 1), dirty=False)
+        table.clear()
+        assert len(table) == 0
+        assert table.memory_used == 0
+
+
+class TestNru:
+    def test_get_sets_reference_bit(self):
+        table = HashTable(0)
+        entry = table.set(make_doc("a", 1), dirty=False)
+        entry.referenced = False
+        table.get("a")
+        assert entry.referenced
+
+    def test_peek_does_not_touch_reference_bit(self):
+        table = HashTable(0)
+        entry = table.set(make_doc("a", 1), dirty=False)
+        entry.referenced = False
+        table.peek("a")
+        assert not entry.referenced
+
+
+class TestMemoryAccounting:
+    def test_grows_and_shrinks(self):
+        table = HashTable(0)
+        table.set(make_doc("a", "x" * 1000), dirty=False)
+        big = table.memory_used
+        table.set(make_doc("a", "x"), dirty=False)
+        assert table.memory_used < big
+
+    def test_replacement_does_not_leak(self):
+        table = HashTable(0)
+        for _ in range(10):
+            table.set(make_doc("a", "x" * 100), dirty=False)
+        single = HashTable(0)
+        single.set(make_doc("a", "x" * 100), dirty=False)
+        assert table.memory_used == single.memory_used
+
+
+class TestEjection:
+    def test_eject_value_keeps_metadata(self):
+        table = HashTable(0)
+        table.set(make_doc("a", "x" * 500, seqno=3), dirty=False)
+        before = table.memory_used
+        assert table.eject_value("a")
+        entry = table.peek("a")
+        assert entry.doc.ejected
+        assert entry.doc.value is None
+        assert entry.doc.meta.seqno == 3
+        assert table.memory_used < before
+
+    def test_cannot_eject_dirty(self):
+        table = HashTable(0)
+        table.set(make_doc("a", 1), dirty=True)
+        assert not table.eject_value("a")
+        assert not table.eject_entry("a")
+
+    def test_cannot_eject_twice(self):
+        table = HashTable(0)
+        table.set(make_doc("a", 1), dirty=False)
+        assert table.eject_value("a")
+        assert not table.eject_value("a")
+
+    def test_cannot_eject_tombstone_value(self):
+        table = HashTable(0)
+        table.set(make_doc("a", deleted=True), dirty=False)
+        assert not table.eject_value("a")
+
+    def test_eject_entry_removes_fully(self):
+        table = HashTable(0)
+        table.set(make_doc("a", 1), dirty=False)
+        assert table.eject_entry("a")
+        assert "a" not in table
+
+    def test_resident_ratio(self):
+        table = HashTable(0)
+        assert table.resident_ratio() == 1.0
+        table.set(make_doc("a", 1), dirty=False)
+        table.set(make_doc("b", 2), dirty=False)
+        table.eject_value("a")
+        assert table.resident_ratio() == 0.5
+
+
+class TestCleanMarking:
+    def test_mark_clean_at_seqno(self):
+        table = HashTable(0)
+        table.set(make_doc("a", 1, seqno=5), dirty=True)
+        table.mark_clean("a", 5)
+        assert not table.peek("a").dirty
+
+    def test_newer_mutation_stays_dirty(self):
+        table = HashTable(0)
+        table.set(make_doc("a", 2, seqno=7), dirty=True)
+        table.mark_clean("a", 5)  # an older flush completing late
+        assert table.peek("a").dirty
+
+    def test_lock_state_survives_replacement(self):
+        table = HashTable(0)
+        entry = table.set(make_doc("a", 1), dirty=True)
+        entry.locked_until = 99.0
+        entry.lock_cas = 42
+        replacement = table.set(make_doc("a", 2, seqno=2), dirty=True)
+        assert replacement.locked_until == 99.0
+        assert replacement.lock_cas == 42

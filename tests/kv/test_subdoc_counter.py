@@ -1,0 +1,138 @@
+"""Tests for counters and the sub-document API (lookup_in / mutate_in),
+the SDK-level expression of section 3.2.2's sub-document operations."""
+
+import pytest
+
+from repro import Cluster
+from repro.common.errors import (
+    CasMismatchError,
+    KeyNotFoundError,
+    TemporaryFailureError,
+)
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(nodes=2, vbuckets=16)
+    cluster.create_bucket("b", replicas=0)
+    return cluster
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.connect()
+
+
+class TestCounter:
+    def test_create_with_initial(self, client):
+        value, result = client.counter("b", "hits", 1, initial=0)
+        assert value == 0
+        assert result.cas > 0
+
+    def test_increment(self, client):
+        client.counter("b", "hits", 1, initial=0)
+        value, _ = client.counter("b", "hits", 5)
+        assert value == 5
+        value, _ = client.counter("b", "hits", 1)
+        assert value == 6
+
+    def test_decrement(self, client):
+        client.counter("b", "credits", 0, initial=100)
+        value, _ = client.counter("b", "credits", -30)
+        assert value == 70
+
+    def test_missing_without_initial(self, client):
+        with pytest.raises(KeyNotFoundError):
+            client.counter("b", "ghost", 1)
+
+    def test_non_integer_target(self, client):
+        client.upsert("b", "doc", {"not": "a counter"})
+        with pytest.raises(TemporaryFailureError):
+            client.counter("b", "doc", 1)
+
+    def test_counter_is_a_real_document(self, client):
+        client.counter("b", "hits", 1, initial=41)
+        client.counter("b", "hits", 1)
+        assert client.get("b", "hits").value == 42
+
+
+class TestLookupIn:
+    def test_multiple_paths(self, client):
+        client.upsert("b", "user", {
+            "name": "dipti",
+            "address": {"city": "SF", "zip": "94040"},
+            "tags": ["a", "b"],
+        })
+        results = client.lookup_in("b", "user",
+                                   ["name", "address.zip", "tags.1", "ghost"])
+        assert results[0] == {"found": True, "value": "dipti"}
+        assert results[1] == {"found": True, "value": "94040"}
+        assert results[2] == {"found": True, "value": "b"}
+        assert results[3] == {"found": False, "value": None}
+
+    def test_missing_document(self, client):
+        with pytest.raises(KeyNotFoundError):
+            client.lookup_in("b", "ghost", ["x"])
+
+
+class TestMutateIn:
+    def test_set_paths(self, client):
+        client.upsert("b", "user", {"name": "x"})
+        client.mutate_in("b", "user", [
+            ("set", "age", 30),
+            ("set", "address.city", "SF"),
+        ])
+        value = client.get("b", "user").value
+        assert value == {"name": "x", "age": 30, "address": {"city": "SF"}}
+
+    def test_unset(self, client):
+        client.upsert("b", "user", {"name": "x", "temp": 1})
+        client.mutate_in("b", "user", [("unset", "temp", None)])
+        assert client.get("b", "user").value == {"name": "x"}
+
+    def test_array_append(self, client):
+        client.upsert("b", "user", {"tags": ["a"]})
+        client.mutate_in("b", "user", [("array_append", "tags", "b")])
+        assert client.get("b", "user").value["tags"] == ["a", "b"]
+
+    def test_array_append_non_array(self, client):
+        client.upsert("b", "user", {"tags": "nope"})
+        with pytest.raises(TemporaryFailureError):
+            client.mutate_in("b", "user", [("array_append", "tags", "b")])
+
+    def test_batch_is_atomic(self, client):
+        """A failing op must leave the document untouched."""
+        client.upsert("b", "user", {"a": 1, "arr": "not-an-array"})
+        with pytest.raises(TemporaryFailureError):
+            client.mutate_in("b", "user", [
+                ("set", "a", 2),
+                ("array_append", "arr", 1),  # fails
+            ])
+        assert client.get("b", "user").value["a"] == 1
+
+    def test_cas_protected(self, client):
+        result = client.upsert("b", "user", {"a": 1})
+        client.upsert("b", "user", {"a": 2})  # bump CAS
+        with pytest.raises(CasMismatchError):
+            client.mutate_in("b", "user", [("set", "a", 3)], cas=result.cas)
+
+    def test_preserves_expiry(self, cluster, client):
+        now = cluster.clock.now()
+        client.upsert("b", "session", {"n": 1}, expiry=now + 100)
+        client.mutate_in("b", "session", [("set", "n", 2)])
+        cluster.tick(200)
+        with pytest.raises(KeyNotFoundError):
+            client.get("b", "session")
+
+    def test_unknown_op(self, client):
+        client.upsert("b", "user", {"a": 1})
+        with pytest.raises(ValueError):
+            client.mutate_in("b", "user", [("swizzle", "a", 1)])
+
+    def test_mutation_flows_to_indexes(self, cluster, client):
+        cluster.query("CREATE INDEX by_age ON b(age) USING GSI")
+        client.upsert("b", "user", {"name": "x"})
+        client.mutate_in("b", "user", [("set", "age", 33)])
+        rows = cluster.gsi.scan("by_age", low=[33], high=[33],
+                                consistency="request_plus")
+        assert [doc_id for _k, doc_id in rows] == ["user"]

