@@ -23,7 +23,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
+from .client.smart_client import BatchResult
 from .common.errors import ReproError
 from .server import Cluster
 
-__all__ = ["Cluster", "ReproError", "__version__"]
+__all__ = ["BatchResult", "Cluster", "ReproError", "__version__"]

@@ -1,5 +1,7 @@
-"""Client SDK: the smart client with cluster-map routing (section 3.1)."""
+"""Client SDK: the smart client with cluster-map routing (section 3.1)
+and the node-grouped batch operations (multi_get / multi_upsert /
+multi_remove)."""
 
-from .smart_client import SmartClient
+from .smart_client import BatchResult, SmartClient
 
-__all__ = ["SmartClient"]
+__all__ = ["BatchResult", "SmartClient"]

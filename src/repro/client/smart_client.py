@@ -19,11 +19,13 @@ on the observe machinery of :mod:`repro.replication.durability`.
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
 
 from ..common.document import Document
 from ..common.errors import (
     BucketNotFoundError,
+    KeyNotFoundError,
     NodeDownError,
     NotMyVBucketError,
     TemporaryFailureError,
@@ -35,6 +37,44 @@ from ..kv.engine import MutationResult
 from ..replication.durability import DurabilityMonitor, DurabilityRequirement
 
 _client_ids = itertools.count(1)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a batched key-value operation.
+
+    ``results`` maps each succeeded key to its value (a
+    :class:`Document` for reads, a :class:`MutationResult` for writes);
+    ``errors`` maps each failed key to the error the server returned for
+    it.  A batch never raises for per-key failures -- callers inspect
+    ``errors`` (or use :meth:`require_ok`) so one bad key cannot mask
+    the other N-1 outcomes."""
+
+    results: dict[str, Any] = field(default_factory=dict)
+    errors: dict[str, Exception] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def require_ok(self) -> "BatchResult":
+        """Raise the first per-key error, if any (keys sorted for
+        determinism); otherwise return self."""
+        if self.errors:
+            raise self.errors[min(self.errors)]
+        return self
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.results
+
+    def __getitem__(self, key: str) -> Any:
+        return self.results[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
 
 
 class SmartClient:
@@ -164,16 +204,135 @@ class SmartClient:
         with op in {"set", "unset", "array_append"}."""
         return self._call(bucket, key, "kv_mutate_in", operations, cas)
 
-    def multi_get(self, bucket: str, keys: list[str]) -> dict[str, Document]:
-        """Batch point lookups (each routed to its own node)."""
-        out = {}
+    # -- batched key-value API (node-grouped bulk path, section 4.1) -------------------
+
+    #: Errors that mean "the topology moved under us" -- the batch router
+    #: refreshes the map and re-batches only the affected keys.
+    _RETRYABLE = (NotMyVBucketError, NodeDownError, TemporaryFailureError)
+
+    def _group_by_node(self, cluster_map, keys: Iterable[str]
+                       ) -> tuple[dict[str, list[tuple[int, str]]], list[str]]:
+        """Hash every key, group by its vBucket's active node.  Keys of
+        currently unassigned vBuckets come back separately (retryable)."""
+        groups: dict[str, list[tuple[int, str]]] = {}
+        unassigned: list[str] = []
         for key in keys:
-            from ..common.errors import KeyNotFoundError
-            try:
-                out[key] = self.get(bucket, key)
-            except KeyNotFoundError:
-                continue
-        return out
+            vbucket_id = cluster_map.vbucket_for_key(key)
+            node = cluster_map.active_node(vbucket_id)
+            if node is None:
+                unassigned.append(key)
+            else:
+                groups.setdefault(node, []).append((vbucket_id, key))
+        return groups, unassigned
+
+    def _multi_call(self, bucket: str, method: str,
+                    keys: list[str],
+                    payload: dict[str, dict] | None = None) -> BatchResult:
+        """Route a batch to the cluster: group keys by active node, issue
+        **one** ``kv_multi_get`` / ``kv_multi_mutate`` RPC per node, then
+        refresh the map and re-batch only the keys that failed with a
+        topology error (NOT_MY_VBUCKET / node down / temp failure)."""
+        batch = BatchResult()
+        pending = list(dict.fromkeys(keys))  # de-dup, keep order
+        last_errors: dict[str, Exception] = {}
+        for _attempt in range(self.MAX_RETRIES):
+            if not pending:
+                break
+            cluster_map = self._map(bucket)
+            groups, unassigned = self._group_by_node(cluster_map, pending)
+            retry: list[str] = []
+            for key in unassigned:
+                last_errors[key] = NodeDownError(
+                    f"vbucket {cluster_map.vbucket_for_key(key)} unassigned"
+                )
+                retry.append(key)
+            for node, items in sorted(groups.items()):
+                if payload is None:
+                    request: list = items
+                else:
+                    request = [
+                        (payload[key]["kind"], vbucket_id, key,
+                         payload[key]["kwargs"])
+                        for vbucket_id, key in items
+                    ]
+                try:
+                    outcomes = self.network.call(
+                        self.name, node, method, bucket, request
+                    )
+                except self._RETRYABLE as error:
+                    # Whole-node failure: every key of this group retries.
+                    for _vbucket_id, key in items:
+                        last_errors[key] = error
+                        retry.append(key)
+                    continue
+                for (_vbucket_id, key), (status, value) in zip(items, outcomes):
+                    if status == "ok":
+                        batch.results[key] = value
+                    elif isinstance(value, self._RETRYABLE):
+                        last_errors[key] = value
+                        retry.append(key)
+                    else:
+                        batch.errors[key] = value
+            if not retry:
+                return batch
+            # Topology changed (or the server asked us to back off): let
+            # the manager and pumps react, then re-batch the failures.
+            self.scheduler.run_until_idle()
+            self._refresh_map(bucket)
+            pending = retry
+        for key in pending:
+            batch.errors[key] = last_errors[key]
+        return batch
+
+    def multi_get(self, bucket: str, keys: list[str], *,
+                  batched: bool = True) -> dict[str, Document]:
+        """Batch point lookups: one ``kv_multi_get`` RPC per involved
+        node instead of one round trip per key.  Missing keys are simply
+        absent from the result; any other per-key error propagates.
+
+        ``batched=False`` keeps the legacy per-key routed path (one
+        round trip per key) -- the ablation benchmark compares the two.
+        """
+        if not batched:
+            out: dict[str, Document] = {}
+            for key in keys:
+                try:
+                    out[key] = self.get(bucket, key)
+                except KeyNotFoundError:
+                    continue
+            return out
+        batch = self.multi_get_batch(bucket, keys)
+        for key, error in batch.errors.items():
+            if not isinstance(error, KeyNotFoundError):
+                raise error
+        return dict(batch.results)
+
+    def multi_get_batch(self, bucket: str, keys: list[str]) -> BatchResult:
+        """Batch point lookups with the full per-key outcome surface."""
+        return self._multi_call(bucket, "kv_multi_get", list(keys))
+
+    def multi_upsert(self, bucket: str,
+                     items: Mapping[str, JsonValue] | Iterable[tuple[str, JsonValue]],
+                     *, expiry: float = 0.0, flags: int = 0) -> BatchResult:
+        """Create or replace many documents, one ``kv_multi_mutate`` RPC
+        per destination node.  ``results`` holds a
+        :class:`MutationResult` per succeeded key."""
+        pairs = dict(items.items() if isinstance(items, Mapping) else items)
+        payload = {
+            key: {"kind": "upsert",
+                  "kwargs": {"value": value, "expiry": expiry, "flags": flags}}
+            for key, value in pairs.items()
+        }
+        return self._multi_call(bucket, "kv_multi_mutate",
+                                list(pairs), payload)
+
+    def multi_remove(self, bucket: str, keys: list[str]) -> BatchResult:
+        """Delete many documents, one ``kv_multi_mutate`` RPC per node.
+        A key that does not exist surfaces its ``KeyNotFoundError`` in
+        ``errors`` without affecting the rest of the batch."""
+        payload = {key: {"kind": "delete", "kwargs": {}} for key in keys}
+        return self._multi_call(bucket, "kv_multi_mutate",
+                                list(dict.fromkeys(keys)), payload)
 
     # -- N1QL API (section 3.1.3) ---------------------------------------------------------
 

@@ -192,6 +192,20 @@ class Node:
         return self.engine(bucket).mutate_in(vbucket_id, key, operations,
                                              cas=cas)
 
+    # -- batched KV RPC surface (one network call serves many keys) -------------------
+
+    def kv_multi_get(self, bucket: str,
+                     items: list[tuple[int, str]]) -> list[tuple[str, object]]:
+        """Batch point lookups for keys this node hosts: one RPC, one
+        per-item outcome each (``("ok", Document)`` / ``("err", error)``)."""
+        return self.engine(bucket).multi_get(items)
+
+    def kv_multi_mutate(self, bucket: str,
+                        ops: list[tuple[str, int, str, dict]]) -> list[tuple[str, object]]:
+        """Batch mutations (upsert/insert/replace/delete) with per-op
+        outcomes; see :meth:`repro.kv.engine.KVEngine.multi_mutate`."""
+        return self.engine(bucket).multi_mutate(ops)
+
     # -- replication RPC surface ----------------------------------------------------
 
     def kv_apply_replicated(self, bucket: str, vbucket_id: int,

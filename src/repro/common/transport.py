@@ -67,9 +67,20 @@ class Network:
         self._partitions.add(frozenset((a, b)))
 
     def heal(self, a: str | None = None, b: str | None = None) -> None:
-        """Heal one partition, or all partitions when called bare."""
+        """Heal partitions: ``heal()`` clears every partition,
+        ``heal(a)`` removes *all* partitions involving node ``a``, and
+        ``heal(a, b)`` removes just that pair."""
         if a is None:
+            if b is not None:
+                raise ValueError(
+                    "heal(None, node) is ambiguous; pass the node as the "
+                    "first argument or call heal() to clear everything"
+                )
             self._partitions.clear()
+        elif b is None:
+            self._partitions = {
+                pair for pair in self._partitions if a not in pair
+            }
         else:
             self._partitions.discard(frozenset((a, b)))
 

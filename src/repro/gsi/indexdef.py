@@ -14,7 +14,6 @@ common attribute-path extractors directly.
 
 from __future__ import annotations
 
-import itertools
 import json
 from dataclasses import dataclass, field
 from typing import Any, Callable

@@ -15,7 +15,6 @@ updated up to the maximum sequence number for each vBucket").
 
 from __future__ import annotations
 
-from typing import Any
 
 from ..common.disk import SimulatedDisk
 from ..common.errors import IndexNotFoundError

@@ -22,9 +22,7 @@ watermarks advance even through non-matching traffic; that is what makes
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
-from typing import Any
 
 from ..common.errors import NodeDownError
 from ..dcp.messages import Deletion, Mutation

@@ -30,6 +30,7 @@ from ..common.errors import (
     KeyExistsError,
     KeyNotFoundError,
     NotMyVBucketError,
+    ReproError,
     TemporaryFailureError,
     ValueTooLargeError,
 )
@@ -398,6 +399,49 @@ class KVEngine:
         result = self.upsert(vbucket_id, key, new_value)
         return new_value, result
 
+    # -- batched operations (the smart client's node-grouped bulk path) -----------
+
+    def multi_get(self, items: list[tuple[int, str]]) -> list[tuple[str, object]]:
+        """Serve a batch of point lookups in one call.  ``items`` is a
+        list of ``(vbucket_id, key)`` pairs; the result carries one
+        ``("ok", Document)`` or ``("err", ReproError)`` per item, in
+        order, so a single misplaced vBucket (NOT_MY_VBUCKET) or missing
+        key never fails the rest of the batch."""
+        out: list[tuple[str, object]] = []
+        for vbucket_id, key in items:
+            try:
+                out.append(("ok", self.get(vbucket_id, key)))
+            except ReproError as error:
+                out.append(("err", error))
+        self.metrics.inc("kv.multi_gets")
+        return out
+
+    def multi_mutate(
+        self, ops: list[tuple[str, int, str, dict]]
+    ) -> list[tuple[str, object]]:
+        """Apply a batch of mutations in one call.  Each op is
+        ``(kind, vbucket_id, key, kwargs)`` with kind in {"upsert",
+        "insert", "replace", "delete"}; kwargs are that operation's
+        keyword arguments (value, cas, expiry, flags).  Per-op outcomes
+        mirror :meth:`multi_get`."""
+        handlers = {
+            "upsert": self.upsert,
+            "insert": self.insert,
+            "replace": self.replace,
+            "delete": self.delete,
+        }
+        out: list[tuple[str, object]] = []
+        for kind, vbucket_id, key, kwargs in ops:
+            handler = handlers.get(kind)
+            if handler is None:
+                raise ValueError(f"unknown batch mutation kind {kind!r}")
+            try:
+                out.append(("ok", handler(vbucket_id, key, **kwargs)))
+            except ReproError as error:
+                out.append(("err", error))
+        self.metrics.inc("kv.multi_mutates")
+        return out
+
     # -- sub-document operations (section 3.2.2 mentions sub-document
     # lookups and updates; the SDK exposes them as lookup_in/mutate_in) ----
 
@@ -489,9 +533,17 @@ class KVEngine:
         if vb is None or vb.state is VBucketState.DEAD:
             raise NotMyVBucketError(vbucket_id, self.node_name)
         entry = vb.hashtable.peek(key)
-        if entry is None or entry.doc.meta.deleted:
-            persisted = vb.store.contains(key)
-            return ObserveResult(exists=False, cas=0, persisted=persisted)
+        if entry is None:
+            # Nothing in memory: the only durable fact left is whether
+            # the store holds a tombstone for the key.
+            return ObserveResult(exists=False, cas=0,
+                                 persisted=vb.store.has_tombstone(key))
+        if entry.doc.meta.deleted:
+            # The tombstone itself must have reached disk -- a stale
+            # *live* version on disk does not make the delete durable.
+            persisted = entry.doc.meta.seqno <= vb.persisted_seqno
+            return ObserveResult(exists=False, cas=entry.doc.meta.cas,
+                                 persisted=persisted)
         persisted = entry.doc.meta.seqno <= vb.persisted_seqno
         return ObserveResult(exists=True, cas=entry.doc.meta.cas,
                              persisted=persisted)

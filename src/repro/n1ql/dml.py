@@ -23,9 +23,9 @@ from ..common.errors import (
 )
 from ..common.jsonval import deep_copy
 from .collation import MISSING
-from .expressions import Env, Evaluator
+from .expressions import Env
 from .operators import ExecutionContext, meta_dict
-from .plan import Fetch, Filter, KeyScan, LimitOp, QueryPlan
+from .plan import Filter, LimitOp, QueryPlan
 from .pipeline import execute_plan
 from .planner import Planner
 from .syntax import (

@@ -20,7 +20,7 @@ from typing import Any
 
 from ..common.errors import N1qlRuntimeError, N1qlSemanticError
 from .collation import MISSING, compare
-from .functions import SCALARS, _COUNT_STAR, is_aggregate
+from .functions import SCALARS, is_aggregate
 from .printer import print_expr
 from .syntax import (
     ArrayComprehension,

@@ -69,6 +69,14 @@ class ExecutionContext:
             return None
         return doc
 
+    def fetch_docs(self, bucket: str, keys: list[str]) -> dict:
+        """Bulk lookup through the smart client's node-grouped batch
+        path: one ``kv_multi_get`` RPC per involved node instead of one
+        round trip per key.  Absent keys are omitted."""
+        if not keys:
+            return {}
+        return self.client.multi_get(bucket, keys)
+
     def count(self, name: str, amount: int = 1) -> None:
         if self.metrics is not None:
             self.metrics.inc(name, amount)
@@ -245,18 +253,52 @@ def run_system_scan(op, ctx: ExecutionContext) -> Rows:
 # ---------------------------------------------------------------------------
 
 
+#: Rows buffered per bulk fetch.  Small enough to keep the pipeline
+#: streaming (LIMIT stops after at most one extra chunk), large enough
+#: that a chunk spanning the whole cluster amortizes to ~1 RPC per node.
+FETCH_BATCH = 64
+
+
 def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
+    """Resolve pending document fetches in node-grouped batches: the
+    operator buffers up to :data:`FETCH_BATCH` rows, issues one bulk
+    lookup for their keys (one RPC per node holding any of them), and
+    re-emits the rows in order.  Rows whose document vanished between
+    scan and fetch are dropped, as before."""
+    chunk: list[Env] = []
+
+    def drain(buffered: list[Env]) -> Rows:
+        keys = []
+        for env in buffered:
+            _found, value = env.lookup(op.alias)
+            if isinstance(value, dict) and "__pending_fetch__" in value:
+                keys.append(value["__pending_fetch__"])
+        docs = ctx.fetch_docs(op.keyspace, keys)
+        bound: set[str] = set()
+        for env in buffered:
+            _found, value = env.lookup(op.alias)
+            if isinstance(value, dict) and "__pending_fetch__" in value:
+                key = value["__pending_fetch__"]
+                doc = docs.get(key)
+                if doc is None:
+                    continue  # deleted between scan and fetch
+                if key in bound:
+                    doc = doc.copy()  # duplicate keys must not share state
+                bound.add(key)
+                env.bind(op.alias, doc.value, meta_dict(doc))
+                ctx.count("n1ql.fetch")
+            yield env
+
     for env in rows:
         found, value = env.lookup(op.alias)
         if not found:
             continue
-        if isinstance(value, dict) and "__pending_fetch__" in value:
-            doc = ctx.fetch_doc(op.keyspace, value["__pending_fetch__"])
-            if doc is None:
-                continue  # deleted between scan and fetch
-            env.bind(op.alias, doc.value, meta_dict(doc))
-            ctx.count("n1ql.fetch")
-        yield env
+        chunk.append(env)
+        if len(chunk) >= FETCH_BATCH:
+            yield from drain(chunk)
+            chunk = []
+    if chunk:
+        yield from drain(chunk)
 
 
 def run_filter(op: Filter, ctx: ExecutionContext, rows: Rows) -> Rows:

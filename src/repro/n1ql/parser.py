@@ -14,8 +14,6 @@ stance the paper takes.
 
 from __future__ import annotations
 
-import json
-from typing import Any
 
 from ..common.errors import N1qlSyntaxError
 from .lexer import Token, tokenize

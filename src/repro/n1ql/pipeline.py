@@ -47,7 +47,6 @@ from .plan import (
     NestOp,
     OffsetOp,
     OrderOp,
-    PlanOp,
     PrimaryScan,
     QueryPlan,
     UnnestOp,

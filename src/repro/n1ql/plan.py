@@ -13,7 +13,6 @@ EXPLAIN renders these nodes as a JSON-ish tree (section 4.5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from .printer import print_expr
 from .syntax import Expr, OrderTerm, Projection

@@ -52,7 +52,7 @@ from .plan import (
     ScanSpan,
     UnnestOp,
 )
-from .printer import path_of, print_expr
+from .printer import path_of
 from .syntax import (
     Between,
     Binary,

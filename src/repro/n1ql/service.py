@@ -24,7 +24,6 @@ from ..common.errors import (
 )
 from ..gsi.indexdef import IndexDefinition, primary_index
 from .catalog import Catalog, ViewIndexInfo
-from .collation import MISSING
 from .dml import execute_delete, execute_insert, execute_update
 from .expressions import Env, Evaluator
 from .operators import ExecutionContext

@@ -105,10 +105,16 @@ class DurabilityMonitor:
                     replicated += 1
                     if observed.persisted:
                         persisted += 1
-                elif not observed.exists and observed.persisted:
-                    # Deletion path: the tombstone reached disk.
-                    replicated += 1
-                    persisted += 1
+                elif not observed.exists:
+                    # Deletion path.  An in-memory tombstone carrying the
+                    # mutation's CAS counts as replicated; it counts as
+                    # persisted only once the tombstone itself reached
+                    # disk (observe no longer confuses a stale live
+                    # version on disk with a persisted delete).
+                    if observed.cas == result.cas or observed.persisted:
+                        replicated += 1
+                    if observed.persisted:
+                        persisted += 1
             return (
                 replicated >= requirement.replicate_to
                 and persisted >= requirement.persist_to

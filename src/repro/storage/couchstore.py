@@ -166,6 +166,12 @@ class VBucketStore:
         found, entry = self.by_key.lookup(key)
         return found and not entry["del"]
 
+    def has_tombstone(self, key: str) -> bool:
+        """True when the latest persisted version of ``key`` is a delete
+        (the durability monitor's deletion-path observe needs this)."""
+        found, entry = self.by_key.lookup(key)
+        return found and bool(entry["del"])
+
     def changes_since(self, seqno: int):
         """Yield persisted documents with seqno strictly greater than
         ``seqno``, in seqno order -- the DCP backfill scan."""

@@ -13,7 +13,6 @@ defined view, and tracks the per-vBucket indexed seqno -- which is what
 
 from __future__ import annotations
 
-from typing import Any
 
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream

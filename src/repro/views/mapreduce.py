@@ -20,7 +20,7 @@ emits the named attribute, mirroring what the server generates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 MapFn = Callable[[dict, "DocMetaView", Callable[[Any, Any], None]], None]

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from ..common.disk import SimulatedDisk
-from ..n1ql.collation import compare, sort_key
+from ..n1ql.collation import compare
 from ..storage.appendlog import AppendLog
 from .mapreduce import ReduceFn, ViewDefinition
 

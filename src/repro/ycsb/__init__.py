@@ -19,6 +19,7 @@ from .runner import (
     measure_service_time,
     mva_throughput,
     run_sweep,
+    seidmann_extra_delay,
     sweep_threads,
 )
 from .workload import (
@@ -39,7 +40,8 @@ __all__ = [
     "Operation", "SCAN_QUERY", "ScrambledZipfianGenerator", "SweepPoint",
     "UniformGenerator", "WORKLOADS", "WorkloadConfig", "YcsbClient",
     "ZipfianGenerator", "fnv_hash_64", "make_request_generator",
-    "measure_service_time", "mva_throughput", "run_sweep", "sweep_threads",
+    "measure_service_time", "mva_throughput", "run_sweep",
+    "seidmann_extra_delay", "sweep_threads",
     "workload_a", "workload_b", "workload_c", "workload_d", "workload_e",
     "workload_f",
 ]

@@ -51,6 +51,12 @@ def measure_service_time(client: YcsbClient, operations: int = 300,
     return elapsed / operations
 
 
+def seidmann_extra_delay(service_time: float, servers: int) -> float:
+    """The pure-delay leg of the Seidmann transformation of an
+    ``servers``-server queueing station."""
+    return service_time * (servers - 1) / servers
+
+
 def mva_throughput(
     population: int,
     service_time: float,
@@ -65,11 +71,22 @@ def mva_throughput(
     multi-server station is handled with the Seidmann transformation:
     an FCFS station with service ``service_time / servers`` in series
     with a pure delay of ``service_time * (servers - 1) / servers``.
+
+    The mean response time is the residence time at the queueing
+    station of the transformed network, i.e. the cycle time minus
+    *both* delay legs -- the think/RTT delay **and** the Seidmann
+    ``extra_delay`` shift.  With that convention the returned pair
+    satisfies Little's law for the closed loop exactly::
+
+        population == throughput * (response + delay + extra_delay)
+
+    (Subtracting only ``delay``, as an earlier version did, leaks the
+    Seidmann shift into the response and overstates per-op latency.)
     """
     if population < 1:
         return 0.0, 0.0
     fast_service = service_time / servers
-    extra_delay = service_time * (servers - 1) / servers
+    extra_delay = seidmann_extra_delay(service_time, servers)
     total_delay = delay + extra_delay
     queue_length = 0.0
     throughput = 0.0
@@ -77,7 +94,9 @@ def mva_throughput(
         response = fast_service * (1.0 + queue_length)
         throughput = customers / (response + total_delay)
         queue_length = throughput * response
-    return throughput, (population / throughput) - delay if throughput else 0.0
+    if not throughput:
+        return 0.0, 0.0
+    return throughput, (population / throughput) - total_delay
 
 
 @dataclass

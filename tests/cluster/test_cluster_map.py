@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.cluster_map import ClusterMap, plan_map
+from repro.cluster.cluster_map import plan_map
 
 
 class TestPlanFresh:

@@ -8,7 +8,6 @@ from repro.common.errors import (
     BucketExistsError,
     BucketNotFoundError,
     DurabilityImpossibleError,
-    KeyNotFoundError,
     NoQuorumError,
 )
 from repro.cluster.services import Service

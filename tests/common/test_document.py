@@ -1,6 +1,5 @@
 """Tests for Document/DocumentMeta semantics."""
 
-import pytest
 
 from repro.common.document import Document, DocumentMeta
 

@@ -204,6 +204,31 @@ class TestNetwork:
         net.heal()
         assert net.call("n2", "n1", "ping", 1) == 1
 
+    def test_heal_one_node_removes_all_its_partitions(self):
+        net = Network()
+        net.register("n1", self.Echo())
+        net.register("n4", self.Echo())
+        net.partition("n1", "n2")
+        net.partition("n3", "n1")
+        net.partition("n3", "n4")
+        net.heal("n1")  # single argument: every partition involving n1
+        assert net.call("n2", "n1", "ping", 1) == 1
+        assert net.call("n3", "n1", "ping", 1) == 1
+        with pytest.raises(NodeDownError):
+            net.call("n3", "n4", "ping", 1)  # untouched pair stays cut
+
+    def test_heal_pair_unordered(self):
+        net = Network()
+        net.register("n1", self.Echo())
+        net.partition("n1", "n2")
+        net.heal("n2", "n1")
+        assert net.call("n2", "n1", "ping", 1) == 1
+
+    def test_heal_none_with_node_rejected(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.heal(None, "n2")
+
     def test_unknown_endpoint(self):
         with pytest.raises(NodeDownError):
             Network().call("a", "ghost", "ping")

@@ -6,8 +6,6 @@ import pytest
 from repro import Cluster
 from repro.common.errors import (
     DurabilityError,
-    KeyNotFoundError,
-    NodeDownError,
     ServiceUnavailableError,
 )
 from repro.kv.engine import VBucketState

@@ -4,7 +4,6 @@ asynchronous persistence, eviction, and vBucket state handling."""
 import pytest
 
 from repro.common.clock import VirtualClock
-from repro.common.disk import SimulatedDisk
 from repro.common.errors import (
     CasMismatchError,
     DocumentLockedError,

@@ -1,7 +1,6 @@
 """Direct unit tests for the per-vBucket hash table: NRU tracking,
 memory accounting, and ejection rules."""
 
-import pytest
 
 from repro.common.document import Document, DocumentMeta
 from repro.kv.hashtable import HashTable

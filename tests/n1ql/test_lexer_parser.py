@@ -18,9 +18,7 @@ from repro.n1ql.syntax import (
     ExplainStatement,
     FieldAccess,
     FunctionCall,
-    Identifier,
     InsertStatement,
-    IsPredicate,
     JoinClause,
     Literal,
     NestClause,

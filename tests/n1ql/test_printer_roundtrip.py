@@ -6,7 +6,7 @@ import pytest
 
 from repro.n1ql.parser import Parser
 from repro.n1ql.printer import path_of, print_expr
-from repro.n1ql.syntax import FieldAccess, FunctionCall, Identifier
+from repro.n1ql.syntax import Identifier
 
 EXPRESSIONS = [
     "1 + 2 * 3",

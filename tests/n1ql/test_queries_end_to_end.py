@@ -448,7 +448,6 @@ class TestDdlThroughN1ql:
         cluster.query(
             'CREATE INDEX deferred_city ON profiles(city) USING GSI '
             'WITH {"defer_build": true}')
-        from repro.common.errors import IndexNotReadyError
         meta = cluster.manager.index_registry.require("deferred_city")
         assert meta.state == "deferred"
         cluster.query("BUILD INDEX ON profiles(deferred_city)")

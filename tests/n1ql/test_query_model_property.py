@@ -7,7 +7,6 @@ access path the planner picks (primary scan vs. secondary index scan),
 since index selection is supposed to be invisible to correctness.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -94,3 +94,82 @@ class TestMonitor:
         cluster.run_until_idle()
         # Waiting on the tombstone: replicas confirm via persisted delete.
         client.remove("b", "k", replicate_to=1, persist_to=1)
+
+
+class TestDeletionDurability:
+    """The tombstone observe path: a delete only counts as persisted
+    once the tombstone itself reaches disk (a stale live version on disk
+    must not satisfy persist_to), and an in-memory replica tombstone
+    carrying the delete's CAS counts toward replicate_to."""
+
+    @pytest.fixture
+    def cluster(self):
+        cluster = Cluster(nodes=3, vbuckets=8)
+        cluster.create_bucket("b", replicas=2)
+        return cluster
+
+    def test_remove_persist_to_waits_for_tombstone_on_disk(self, cluster):
+        client = cluster.connect()
+        client.upsert("b", "k", {"v": 1})
+        cluster.run_until_idle()  # the *live* version is now persisted
+        result = client.remove("b", "k", persist_to=1)
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = result.vbucket_id
+        active = cluster.node(cluster_map.chains[vb][0])
+        # The active's store must hold the tombstone, not just any entry.
+        assert active.engines["b"].vbuckets[vb].store.has_tombstone("k")
+
+    def test_observe_does_not_count_stale_live_version_as_persisted_delete(
+            self, cluster):
+        client = cluster.connect()
+        result = client.upsert("b", "k", {"v": 1})
+        cluster.run_until_idle()
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = result.vbucket_id
+        active = cluster.node(cluster_map.chains[vb][0])
+        engine = active.engines["b"]
+        engine.delete(vb, "k")  # tombstone in memory, flusher not run
+        observed = engine.observe(vb, "k")
+        assert not observed.exists
+        assert not observed.persisted  # disk still holds the live doc
+        engine.flush()
+        observed = engine.observe(vb, "k")
+        assert observed.persisted
+
+    def test_in_memory_replica_tombstone_counts_as_replicated(self, cluster):
+        client = cluster.connect()
+        client.upsert("b", "k", {"v": 1})
+        cluster.run_until_idle()
+        # replicate_to=2 with both replica flushers effectively unable
+        # to matter: the monitor must credit the in-memory tombstones.
+        client.remove("b", "k", replicate_to=2)
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = cluster_map.vbucket_for_key("k")
+        for name in cluster_map.replica_nodes(vb):
+            entry = cluster.node(name).engines["b"].vbuckets[vb].hashtable.peek("k")
+            assert entry is not None and entry.doc.meta.deleted
+
+    def test_remove_durability_through_failover(self, cluster):
+        client = cluster.connect()
+        result = client.upsert("b", "k", {"v": 1},
+                               replicate_to=2, persist_to=3)
+        cluster_map = cluster.manager.cluster_maps["b"]
+        vb = result.vbucket_id
+        old_active = cluster_map.chains[vb][0]
+        cluster.crash_node(old_active)
+        cluster.failover(old_active)
+        # The smart client refreshes its map on NOT_MY_VBUCKET/down and
+        # the durability wait runs against the promoted chain.
+        client.remove("b", "k", replicate_to=1, persist_to=2)
+        new_map = cluster.manager.cluster_maps["b"]
+        new_active = cluster.node(new_map.chains[vb][0])
+        assert new_active.name != old_active
+        assert new_active.engines["b"].vbuckets[vb].store.has_tombstone("k")
+        replicas = [n for n in new_map.replica_nodes(vb)
+                    if n != old_active]
+        survivor_tombstones = sum(
+            1 for name in replicas
+            if (e := cluster.node(name).engines["b"].vbuckets[vb]
+                .hashtable.peek("k")) is not None and e.doc.meta.deleted
+        )
+        assert survivor_tombstones >= 1

@@ -1,6 +1,5 @@
 """Tests for online compaction (section 4.3.3)."""
 
-import pytest
 
 from repro.common.disk import SimulatedDisk
 from repro.storage.compaction import Compactor

@@ -6,7 +6,7 @@ import pytest
 
 from repro import Cluster
 from repro.common.errors import ViewNotFoundError
-from repro.views import ViewDefinition, ViewQueryParams, attribute_view
+from repro.views import ViewDefinition, ViewQueryParams
 
 
 def age_view():

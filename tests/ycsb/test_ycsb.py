@@ -2,8 +2,6 @@
 and the MVA throughput model."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import Cluster
 from repro.ycsb import (
@@ -16,6 +14,7 @@ from repro.ycsb import (
     ZipfianGenerator,
     fnv_hash_64,
     mva_throughput,
+    seidmann_extra_delay,
     sweep_threads,
     workload_a,
     workload_e,
@@ -220,6 +219,28 @@ class TestMvaModel:
 
     def test_zero_population(self):
         assert mva_throughput(0, 0.001, 4, 0.001) == (0.0, 0.0)
+
+    def test_mean_latency_satisfies_littles_law(self):
+        """N = X * (R + Z) for the closed loop, where Z is the *total*
+        delay leg: think/RTT plus the Seidmann extra delay.  The pre-fix
+        formula subtracted only the think delay, leaking the Seidmann
+        shift into the response and overstating per-op latency."""
+        service_time, servers, delay = 0.001, 8, 0.0005
+        extra = seidmann_extra_delay(service_time, servers)
+        for population in (1, 4, 16, 64, 256):
+            throughput, response = mva_throughput(
+                population, service_time, servers, delay
+            )
+            assert population == pytest.approx(
+                throughput * (response + delay + extra), rel=1e-9
+            )
+
+    def test_mean_latency_excludes_seidmann_shift(self):
+        """With a single customer there is no queueing: the residence at
+        the transformed station is exactly service_time / servers."""
+        service_time, servers = 0.001, 8
+        _x, response = mva_throughput(1, service_time, servers, 0.0005)
+        assert response == pytest.approx(service_time / servers, rel=1e-9)
 
     def test_sweep_monotone_nondecreasing(self):
         points = sweep_threads(0.0005, [12, 24, 48, 96, 128])
