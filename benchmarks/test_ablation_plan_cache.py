@@ -1,0 +1,105 @@
+"""Ablation -- expression compiler + ad-hoc plan cache on the hot path.
+
+Section 4.5.3: "query parsing and planning are done serially" per
+request, and the Figure 16 reproduction turns the measured per-query
+service time into queries/sec -- so the serial front half plus the
+per-row AST walk is directly benchmarked overhead.  This bench runs the
+Figure 16 scan statement shape in three configurations:
+
+* ``interpreted, cold``  -- expression compiler off, plan cache cleared
+  before every request: the seed repo's parse -> plan -> tree-walk path.
+* ``compiled, cold``     -- compiler on, plan cache cleared before every
+  request: isolates the closure-compilation win.
+* ``compiled + cached``  -- compiler on, warm plan cache: the full hot
+  path (what repeated ad-hoc statements actually get).
+
+Self-timed (no pytest-benchmark fixture) so CI can run it as a smoke
+test with ``REPRO_ABLATION_ITERS=1``; the 2x acceptance assertion only
+applies when enough iterations ran for the means to be meaningful.
+"""
+
+import os
+import time
+
+import pytest
+from conftest import print_series
+
+from repro import Cluster
+from repro.cluster.services import Service
+from repro.n1ql import compile as n1ql_compile
+
+ITERS = int(os.environ.get("REPRO_ABLATION_ITERS", "400"))
+#: Below this, means are noise; run the modes but skip the perf gate.
+MIN_ITERS_FOR_ASSERT = 50
+
+#: The Figure 16 / YCSB-E scan shape (see repro/ycsb/client.py).
+SCAN_QUERY = ("SELECT meta().id AS id FROM `b` "
+              "WHERE meta().id >= $1 LIMIT $2")
+PARAMS = {"1": "u0100", "2": 20}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = Cluster(nodes=3, vbuckets=32)
+    cluster.create_bucket("b", replicas=0)
+    client = cluster.connect()
+    for i in range(300):
+        client.upsert("b", f"u{i:04d}", {"field0": f"v{i:04d}"})
+    cluster.run_until_idle()
+    cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+    cluster.run_until_idle()
+    return cluster
+
+
+def _timed_mean(cluster, iters: int, *, compile_enabled: bool,
+                clear_cache: bool) -> float:
+    service = cluster.service_node(Service.QUERY).query_service
+
+    def op():
+        if clear_cache:
+            service.plan_cache.clear()
+        return cluster.query(SCAN_QUERY, params=PARAMS).rows
+
+    previous = n1ql_compile.COMPILE_ENABLED
+    n1ql_compile.COMPILE_ENABLED = compile_enabled
+    try:
+        rows = op()  # warm-up; also primes the cache for the cached mode
+        assert len(rows) == 20
+        assert rows[0]["id"] == "u0100"
+        start = time.perf_counter()
+        for _ in range(iters):
+            op()
+        return (time.perf_counter() - start) / iters
+    finally:
+        n1ql_compile.COMPILE_ENABLED = previous
+
+
+def test_plan_cache_ablation(cluster):
+    interpreted_cold = _timed_mean(cluster, ITERS, compile_enabled=False,
+                                   clear_cache=True)
+    compiled_cold = _timed_mean(cluster, ITERS, compile_enabled=True,
+                                clear_cache=True)
+    compiled_cached = _timed_mean(cluster, ITERS, compile_enabled=True,
+                                  clear_cache=False)
+    speedup = interpreted_cold / compiled_cached
+    print_series(
+        "Ablation: compiled + cached vs interpreted N1QL hot path "
+        f"(Figure 16 scan shape, {ITERS} iters)",
+        ("mode", "mean latency", "speedup"),
+        [
+            ("interpreted, cold", f"{interpreted_cold * 1e3:.3f} ms", "1.00x"),
+            ("compiled, cold", f"{compiled_cold * 1e3:.3f} ms",
+             f"{interpreted_cold / compiled_cold:.2f}x"),
+            ("compiled + cached", f"{compiled_cached * 1e3:.3f} ms",
+             f"{speedup:.2f}x"),
+        ],
+    )
+    # Sanity: the plan cache actually served the cached mode.
+    service = cluster.service_node(Service.QUERY).query_service
+    assert service.node.metrics.counter_value("n1ql.plan_cache.hit") >= ITERS
+    if ITERS >= MIN_ITERS_FOR_ASSERT:
+        # Acceptance gate: the full hot path must at least halve the
+        # per-query service time of the interpreted cold path.
+        assert speedup >= 2.0, (
+            f"compiled+cached only {speedup:.2f}x faster than interpreted"
+        )

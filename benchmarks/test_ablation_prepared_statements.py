@@ -31,7 +31,14 @@ def cluster():
 
 @pytest.mark.benchmark(group="prepared")
 def test_adhoc(cluster, benchmark):
+    # Ad-hoc statements now hit the plan cache, which would make this
+    # identical to EXECUTE; clear it each round so the ad-hoc side
+    # actually pays for parse+plan (the serial phase being measured).
+    from repro.cluster.services import Service
+    service = cluster.service_node(Service.QUERY).query_service
+
     def op():
+        service.plan_cache.clear()
         return cluster.query(
             "SELECT x.name FROM b x WHERE x.age = $1", params={"1": 17}
         ).rows

@@ -51,6 +51,9 @@ class ClusterManager:
         #: bucket -> {(design, view): ViewDefinition}; the cluster-wide
         #: design-document registry pushed to joining nodes.
         self.design_docs: dict[str, dict] = {}
+        #: Bumped on keyspace DDL (create/drop bucket); the query service
+        #: folds it into the plan-cache epoch.
+        self.ddl_epoch = 0
         from ..gsi.manager import IndexRegistry
         #: Cluster-wide GSI metadata, consulted by projectors and the
         #: N1QL planner.
@@ -119,6 +122,7 @@ class ClusterManager:
         if not data_nodes:
             raise NoQuorumError("no data-service nodes available")
         self.bucket_configs[config.name] = config
+        self.ddl_epoch += 1
         cluster_map = plan_map(
             data_nodes, num_vbuckets=num_vbuckets,
             num_replicas=config.num_replicas,
@@ -137,6 +141,7 @@ class ClusterManager:
             raise BucketNotFoundError(name)
         del self.bucket_configs[name]
         del self.cluster_maps[name]
+        self.ddl_epoch += 1
         for node in self.nodes.values():
             self.scheduler.unregister(f"flusher/{node.name}/{name}")
             self.scheduler.unregister(f"replicator/{node.name}/{name}")

@@ -57,16 +57,24 @@ class IndexRegistry:
 
     def __init__(self):
         self._by_name: dict[str, IndexMeta] = {}
+        #: Bumped on every metadata change that can alter planning (index
+        #: added, removed, or built to readiness).  The query service
+        #: folds this into its catalog epoch so cached/prepared plans
+        #: built against an older index set are re-planned, not executed.
+        self.epoch = 0
 
     def add(self, meta: IndexMeta) -> None:
         if meta.definition.name in self._by_name:
             raise IndexExistsError(meta.definition.name)
         self._by_name[meta.definition.name] = meta
+        self.epoch += 1
 
     def remove(self, name: str) -> IndexMeta:
         if name not in self._by_name:
             raise IndexNotFoundError(name)
-        return self._by_name.pop(name)
+        meta = self._by_name.pop(name)
+        self.epoch += 1
+        return meta
 
     def get(self, name: str) -> IndexMeta | None:
         return self._by_name.get(name)
@@ -176,6 +184,7 @@ class GsiCoordinator:
         definition = meta.definition
         manager = self.cluster.manager
         meta.state = "ready"  # the router only routes for ready indexes
+        self.registry.epoch += 1  # a new access path exists; invalidate plans
         marks: dict[int, int] = {}
         for node_name in manager.data_nodes():
             node = manager.nodes[node_name]

@@ -37,12 +37,29 @@ class Catalog:
         self.cluster = cluster
         #: name -> ViewIndexInfo for USING VIEW indexes.
         self.view_indexes: dict[str, ViewIndexInfo] = {}
+        #: Bumped on view-index DDL; folded into :meth:`current_epoch`.
+        self._view_epoch = 0
 
     # -- keyspaces ---------------------------------------------------------------
 
     def require_keyspace(self, name: str) -> None:
         if name not in self.cluster.manager.bucket_configs:
             raise N1qlSemanticError(f"keyspace {name!r} does not exist")
+
+    # -- DDL epoch ---------------------------------------------------------------
+
+    def current_epoch(self) -> tuple:
+        """Composite DDL epoch: moves whenever anything the planner could
+        have consulted changes — GSI index set (create/drop/build),
+        keyspaces (create/drop bucket), or view indexes.  Cached and
+        prepared plans carry the epoch they were built under; a mismatch
+        at lookup/EXECUTE time forces a re-plan."""
+        manager = self.cluster.manager
+        return (
+            manager.index_registry.epoch,
+            getattr(manager, "ddl_epoch", 0),
+            self._view_epoch,
+        )
 
     # -- GSI metadata -------------------------------------------------------------
 
@@ -66,12 +83,15 @@ class Catalog:
             from ..common.errors import IndexExistsError
             raise IndexExistsError(info.name)
         self.view_indexes[info.name] = info
+        self._view_epoch += 1
 
     def drop_view_index(self, name: str) -> ViewIndexInfo:
         from ..common.errors import IndexNotFoundError
         if name not in self.view_indexes:
             raise IndexNotFoundError(name)
-        return self.view_indexes.pop(name)
+        info = self.view_indexes.pop(name)
+        self._view_epoch += 1
+        return info
 
     def view_indexes_on(self, bucket: str) -> list[ViewIndexInfo]:
         return [

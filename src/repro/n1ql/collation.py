@@ -71,6 +71,14 @@ def type_rank(value: Any) -> int:
 
 def compare(a: Any, b: Any) -> int:
     """Three-way comparison under JSON collation: -1, 0, or +1."""
+    # Fast path for like-typed scalars, the bulk of index-key
+    # comparisons.  type() is exact, so bools (rank 2/3, not
+    # numerically compared) fall through to the ranked path.
+    kind = type(a)
+    if kind is type(b) and (kind is str or kind is int or kind is float):
+        if a == b:
+            return 0
+        return -1 if a < b else 1
     rank_a, rank_b = type_rank(a), type_rank(b)
     if rank_a != rank_b:
         return -1 if rank_a < rank_b else 1

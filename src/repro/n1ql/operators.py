@@ -15,7 +15,8 @@ import json
 from typing import Any, Iterator
 
 from ..common.errors import KeyNotFoundError, N1qlRuntimeError
-from .collation import MISSING, sort_key
+from .collation import MISSING
+from .compile import compile_expr, compile_sort_key
 from .expressions import Env, Evaluator
 from .functions import _COUNT_STAR, Accumulator
 from .plan import (
@@ -46,14 +47,19 @@ class ExecutionContext:
 
     def __init__(self, cluster, evaluator: Evaluator,
                  scan_consistency: str = "not_bounded",
-                 metrics=None, scan_tokens=None):
+                 metrics=None, scan_tokens=None, client=None):
         self.cluster = cluster
         self.evaluator = evaluator
         self.scan_consistency = scan_consistency
         #: MutationResult tokens for at_plus consistency.
         self.scan_tokens = scan_tokens or []
         self.metrics = metrics
-        self._client = None
+        #: The data-service client.  The QueryService passes its own
+        #: long-lived SmartClient here so the cluster-map cache and the
+        #: node-grouped batch path survive across queries; a fresh
+        #: connection per query threw both away (section 4.5.1's SDK is
+        #: likewise one long-lived handle).
+        self._client = client
 
     @property
     def client(self):
@@ -82,6 +88,18 @@ class ExecutionContext:
             self.metrics.inc(name, amount)
 
 
+def _compiled(op, slot: str, expr, ctx: "ExecutionContext"):
+    """Per-plan memoized compile: the first execution lowers ``expr`` to
+    a closure and caches it on the plan operator, so cached/prepared
+    plans never re-walk the AST (see :mod:`repro.n1ql.compile`)."""
+    fn = getattr(op, slot, None)
+    if fn is None:
+        fn = compile_expr(expr, ctx.evaluator.default_alias)
+        setattr(op, slot, fn)
+        ctx.count("n1ql.compile.count")
+    return fn
+
+
 def meta_dict(doc) -> dict:
     return {
         "id": doc.meta.key,
@@ -93,14 +111,13 @@ def meta_dict(doc) -> dict:
     }
 
 
-def _cover_doc(cover_paths: list[str], key_values: list) -> dict:
+def _cover_doc(cover_parts: list[list[str]], key_values: list) -> dict:
     """Reconstruct a partial document from covered index key values so
     downstream expressions evaluate without a fetch."""
     doc: dict = {}
-    for path, value in zip(cover_paths, key_values):
+    for parts, value in zip(cover_parts, key_values):
         if value is MISSING:
             continue
-        parts = path.split(".")
         current = doc
         for part in parts[:-1]:
             current = current.setdefault(part, {})
@@ -114,7 +131,7 @@ def _cover_doc(cover_paths: list[str], key_values: list) -> dict:
 
 
 def run_key_scan(op: KeyScan, ctx: ExecutionContext) -> Rows:
-    keys = ctx.evaluator.evaluate(op.keys, Env())
+    keys = _compiled(op, "_compiled_keys", op.keys, ctx)(Env(), ctx.evaluator)
     if isinstance(keys, str):
         keys = [keys]
     if not isinstance(keys, list):
@@ -130,15 +147,38 @@ def run_key_scan(op: KeyScan, ctx: ExecutionContext) -> Rows:
 
 
 def _evaluate_span(span, ctx: ExecutionContext):
+    compiled = getattr(span, "_compiled_bounds", None)
+    if compiled is None:
+        alias = ctx.evaluator.default_alias
+        compiled = (
+            [compile_expr(e, alias) for e in span.low] if span.low else None,
+            [compile_expr(e, alias) for e in span.high] if span.high else None,
+        )
+        span._compiled_bounds = compiled
+        ctx.count("n1ql.compile.count")
+    low_fns, high_fns = compiled
     empty = Env()
+    ev = ctx.evaluator
 
-    def bound(exprs):
-        if exprs is None:
+    def bound(fns):
+        if fns is None:
             return None
-        return [ctx.evaluator.evaluate(e, empty) for e in exprs]
+        return [fn(empty, ev) for fn in fns]
 
-    return (bound(span.low), bound(span.high),
+    return (bound(low_fns), bound(high_fns),
             span.inclusive_low, span.inclusive_high)
+
+
+def _pushed_limit(op, ctx: ExecutionContext) -> int | None:
+    """Evaluate a planner-pushed LIMIT; None (no early stop) unless it
+    comes out a usable non-negative integer."""
+    if getattr(op, "limit", None) is None:
+        return None
+    value = _compiled(op, "_compiled_scan_limit", op.limit, ctx)(
+        Env(), ctx.evaluator)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        return None
+    return value
 
 
 def run_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
@@ -149,14 +189,19 @@ def run_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
     rows = ctx.cluster.gsi.scan(
         op.index_name, low, high,
         inclusive_low=inclusive_low, inclusive_high=inclusive_high,
+        limit=_pushed_limit(op, ctx),
         consistency=ctx.scan_consistency,
         mutation_tokens=ctx.scan_tokens,
     )
     ctx.count("n1ql.indexscan")
+    cover_parts = getattr(op, "_cover_parts", None)
+    if cover_parts is None and op.covered:
+        cover_parts = [path.split(".") for path in op.cover_paths]
+        op._cover_parts = cover_parts
     for key_values, doc_id in rows:
         env = Env()
         if op.covered:
-            env.bind(op.alias, _cover_doc(op.cover_paths, key_values),
+            env.bind(op.alias, _cover_doc(cover_parts, key_values),
                      {"id": doc_id})
         else:
             env.bind(op.alias, {"__pending_fetch__": doc_id}, {"id": doc_id})
@@ -190,11 +235,17 @@ def run_primary_scan(op: PrimaryScan, ctx: ExecutionContext) -> Rows:
     ctx.count("n1ql.primaryscan")
     if op.using == "gsi":
         rows = ctx.cluster.gsi.scan(op.index_name,
+                                    limit=_pushed_limit(op, ctx),
                                     consistency=ctx.scan_consistency,
                                     mutation_tokens=ctx.scan_tokens)
+        covered = getattr(op, "covered", False)
         for _key_values, doc_id in rows:
             env = Env()
-            env.bind(op.alias, {"__pending_fetch__": doc_id}, {"id": doc_id})
+            if covered:
+                env.bind(op.alias, {}, {"id": doc_id})
+            else:
+                env.bind(op.alias, {"__pending_fetch__": doc_id},
+                         {"id": doc_id})
             yield env
         return
     from ..views.viewindex import ViewQueryParams
@@ -302,16 +353,26 @@ def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
 
 
 def run_filter(op: Filter, ctx: ExecutionContext, rows: Rows) -> Rows:
+    condition = _compiled(op, "_compiled_condition", op.condition, ctx)
+    ev = ctx.evaluator
     for env in rows:
-        if ctx.evaluator.truthy(op.condition, env):
+        if condition(env, ev) is True:
             yield env
 
 
 def run_let(op: LetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    compiled = getattr(op, "_compiled_bindings", None)
+    if compiled is None:
+        alias = ctx.evaluator.default_alias
+        compiled = [(name, compile_expr(expr, alias))
+                    for name, expr in op.bindings]
+        op._compiled_bindings = compiled
+        ctx.count("n1ql.compile.count", len(compiled))
+    ev = ctx.evaluator
     for env in rows:
         child = env.child()
-        for name, expr in op.bindings:
-            child.bind(name, ctx.evaluator.evaluate(expr, child))
+        for name, fn in compiled:
+            child.bind(name, fn(child, ev))
         yield child
 
 
@@ -320,8 +381,8 @@ def run_let(op: LetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
 # ---------------------------------------------------------------------------
 
 
-def _on_keys_list(expr, ctx: ExecutionContext, env: Env) -> list[str]:
-    value = ctx.evaluator.evaluate(expr, env)
+def _on_keys_list(fn, ctx: ExecutionContext, env: Env) -> list[str]:
+    value = fn(env, ctx.evaluator)
     if isinstance(value, str):
         return [value]
     if isinstance(value, list):
@@ -330,8 +391,9 @@ def _on_keys_list(expr, ctx: ExecutionContext, env: Env) -> list[str]:
 
 
 def run_join(op: JoinOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    on_keys = _compiled(op, "_compiled_on_keys", op.on_keys, ctx)
     for env in rows:
-        keys = _on_keys_list(op.on_keys, ctx, env)
+        keys = _on_keys_list(on_keys, ctx, env)
         matched = False
         for key in keys:
             doc = ctx.fetch_doc(op.keyspace, key)
@@ -350,8 +412,9 @@ def run_join(op: JoinOp, ctx: ExecutionContext, rows: Rows) -> Rows:
 def run_nest(op: NestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     """NEST: one output row per left row, with the fetched inner
     documents collected into an array (section 3.2.3)."""
+    on_keys = _compiled(op, "_compiled_on_keys", op.on_keys, ctx)
     for env in rows:
-        keys = _on_keys_list(op.on_keys, ctx, env)
+        keys = _on_keys_list(on_keys, ctx, env)
         collected = []
         for key in keys:
             doc = ctx.fetch_doc(op.keyspace, key)
@@ -370,8 +433,10 @@ def run_nest(op: NestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
 def run_unnest(op: UnnestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     """UNNEST: the parent is repeated for each element of the nested
     array (section 4.5.3)."""
+    unnest_fn = _compiled(op, "_compiled_expr", op.expr, ctx)
+    ev = ctx.evaluator
     for env in rows:
-        value = ctx.evaluator.evaluate(op.expr, env)
+        value = unnest_fn(env, ev)
         if isinstance(value, list) and value:
             for item in value:
                 child = env.child()
@@ -388,14 +453,38 @@ def run_unnest(op: UnnestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
 # ---------------------------------------------------------------------------
 
 
+def _group_compiled(op: GroupOp, ctx: ExecutionContext):
+    """Compiled grouping machinery: group-key closures plus, per
+    aggregate, its pre-printed ``$agg:`` binding key and argument
+    closure (the interpreter re-printed each aggregate AST per group)."""
+    compiled = getattr(op, "_compiled_group", None)
+    if compiled is None:
+        alias = ctx.evaluator.default_alias
+        group_fns = [compile_expr(e, alias) for e in op.group_exprs]
+        agg_entries = []
+        for aggregate in op.aggregates:
+            agg_entries.append((
+                "$agg:" + print_expr(aggregate),
+                aggregate.name,
+                aggregate.distinct,
+                aggregate.star,
+                None if aggregate.star else compile_expr(aggregate.args[0],
+                                                         alias),
+            ))
+        compiled = (group_fns, agg_entries)
+        op._compiled_group = compiled
+        ctx.count("n1ql.compile.count", len(group_fns) + len(agg_entries))
+    return compiled
+
+
 def run_group(op: GroupOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    group_fns, agg_entries = _group_compiled(op, ctx)
+    ev = ctx.evaluator
     groups: dict[str, tuple[Env, list[Accumulator]]] = {}
     order: list[str] = []
 
     def group_token(env: Env) -> str:
-        values = [
-            ctx.evaluator.evaluate(expr, env) for expr in op.group_exprs
-        ]
+        values = [fn(env, ev) for fn in group_fns]
         return json.dumps(
             [None if v is MISSING else ["$", _jsonable(v)] for v in values],
             sort_keys=True,
@@ -405,34 +494,34 @@ def run_group(op: GroupOp, ctx: ExecutionContext, rows: Rows) -> Rows:
         token = group_token(env)
         if token not in groups:
             accumulators = [
-                Accumulator(agg.name, agg.distinct) for agg in op.aggregates
+                Accumulator(name, distinct)
+                for _key, name, distinct, _star, _fn in agg_entries
             ]
             groups[token] = (env, accumulators)
             order.append(token)
         _env, accumulators = groups[token]
-        for aggregate, accumulator in zip(op.aggregates, accumulators):
-            if aggregate.star:
+        for entry, accumulator in zip(agg_entries, accumulators):
+            _key, _name, _distinct, star, arg_fn = entry
+            if star:
                 accumulator.add(_COUNT_STAR)
             else:
-                accumulator.add(
-                    ctx.evaluator.evaluate(aggregate.args[0], env)
-                )
+                accumulator.add(arg_fn(env, ev))
 
-    if not groups and not op.group_exprs and op.aggregates:
+    if not groups and not group_fns and agg_entries:
         # Aggregates over an empty input still produce one row
         # (COUNT(*) = 0, SUM = NULL, ...).
         env = Env()
-        for aggregate in op.aggregates:
-            accumulator = Accumulator(aggregate.name, aggregate.distinct)
-            env.bind("$agg:" + print_expr(aggregate), accumulator.result())
+        for key, name, distinct, _star, _fn in agg_entries:
+            accumulator = Accumulator(name, distinct)
+            env.bind(key, accumulator.result())
         yield env
         return
 
     for token in order:
         representative, accumulators = groups[token]
         out = representative.child()
-        for aggregate, accumulator in zip(op.aggregates, accumulators):
-            out.bind("$agg:" + print_expr(aggregate), accumulator.result())
+        for entry, accumulator in zip(agg_entries, accumulators):
+            out.bind(entry[0], accumulator.result())
         yield out
 
 
@@ -448,36 +537,21 @@ def _jsonable(value):
 
 
 def run_order(op: OrderOp, ctx: ExecutionContext, rows: Rows) -> Rows:
+    key_of = getattr(op, "_compiled_key", None)
+    if key_of is None:
+        key_of = compile_sort_key(op.terms, ctx.evaluator.default_alias)
+        op._compiled_key = key_of
+        ctx.count("n1ql.compile.count", len(op.terms))
+    ev = ctx.evaluator
     materialized = list(rows)
-
-    def key_for(env: Env):
-        parts = []
-        for term in op.terms:
-            value = ctx.evaluator.evaluate(term.expr, env)
-            key = sort_key(value)
-            parts.append(_Reversed(key) if term.descending else key)
-        return tuple(parts)
-
-    materialized.sort(key=key_for)
+    materialized.sort(key=lambda env: key_of(env, ev))
     ctx.count("n1ql.sorted_rows", len(materialized))
     yield from materialized
 
 
-class _Reversed:
-    __slots__ = ("key",)
-
-    def __init__(self, key):
-        self.key = key
-
-    def __lt__(self, other):
-        return other.key < self.key
-
-    def __eq__(self, other):
-        return other.key == self.key
-
-
 def run_offset(op: OffsetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
-    count = ctx.evaluator.evaluate(op.count, Env())
+    count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
+                                                            ctx.evaluator)
     if not isinstance(count, (int, float)):
         raise N1qlRuntimeError("OFFSET requires a number")
     skip = int(count)
@@ -487,7 +561,8 @@ def run_offset(op: OffsetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
 
 
 def run_limit(op: LimitOp, ctx: ExecutionContext, rows: Rows) -> Rows:
-    count = ctx.evaluator.evaluate(op.count, Env())
+    count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
+                                                            ctx.evaluator)
     if not isinstance(count, (int, float)):
         raise N1qlRuntimeError("LIMIT requires a number")
     remaining = int(count)
@@ -505,21 +580,48 @@ def run_limit(op: LimitOp, ctx: ExecutionContext, rows: Rows) -> Rows:
 # ---------------------------------------------------------------------------
 
 
+def _project_compiled(op: InitialProject, ctx: ExecutionContext):
+    """Compiled projection list: each entry is ``(fn, name, star_of)``
+    with the output name (explicit alias or implicit field name)
+    resolved once instead of per row.  ``fn`` is None for star
+    projections."""
+    entries = getattr(op, "_compiled_projections", None)
+    if entries is None:
+        alias = ctx.evaluator.default_alias
+        entries = []
+        count = 0
+        for projection in op.projections:
+            if projection.expr is None:
+                entries.append((None, None, projection.star_of))
+            else:
+                entries.append((compile_expr(projection.expr, alias),
+                                projection.alias
+                                or _implicit_name(projection.expr),
+                                None))
+                count += 1
+        op._compiled_projections = entries
+        ctx.count("n1ql.compile.count", count)
+    return entries
+
+
 def run_initial_project(op: InitialProject, ctx: ExecutionContext,
                         rows: Rows) -> Rows:
     """Evaluate the projection list; emits envs carrying '$result'."""
+    entries = _project_compiled(op, ctx)
+    ev = ctx.evaluator
+    raw_fn = entries[0][0] if op.raw else None
     for env in rows:
         if op.raw:
-            value = ctx.evaluator.evaluate(op.projections[0].expr, env)
+            value = raw_fn(env, ev)
             result: Any = None if value is MISSING else value
         else:
             result = {}
             unnamed = 0
-            for projection in op.projections:
-                if projection.expr is None:
+            for fn, name, star_of in entries:
+                if fn is None:
                     # '*' or alias.*: splice document(s) in.
-                    if projection.star_of is not None:
-                        found, value = env.lookup(projection.star_of)
+                    if star_of is not None:
+                        found, value = env.lookup(star_of)
                         if found and isinstance(value, dict):
                             result.update(value)
                         continue
@@ -530,14 +632,15 @@ def run_initial_project(op: InitialProject, ctx: ExecutionContext,
                         if found and value is not MISSING:
                             result[alias] = value
                     continue
-                value = ctx.evaluator.evaluate(projection.expr, env)
+                value = fn(env, ev)
                 if value is MISSING:
                     continue
-                name = projection.alias or _implicit_name(projection.expr)
                 if name is None:
                     unnamed += 1
-                    name = f"${unnamed}"
-                result[name] = value
+                    key = f"${unnamed}"
+                else:
+                    key = name
+                result[key] = value
         out = env.child()
         out.bind("$result", result)
         yield out

@@ -65,11 +65,19 @@ class PrimaryScan(PlanOp):
     keyspace: str
     index_name: str
     using: str  # "gsi" | "view"
+    #: The projection needs nothing beyond meta().id, which the primary
+    #: index already yields -- skip the Fetch (section 5.1.2 applied to
+    #: the primary index).
+    covered: bool = False
+    #: LIMIT pushed into the scan (set by the planner only when nothing
+    #: downstream can drop or reorder rows).
+    limit: Expr | None = None
 
     def describe(self) -> dict:
         return {"#operator": "PrimaryScan", "keyspace": self.keyspace,
                 "as": self.alias, "index": self.index_name,
-                "using": self.using}
+                "using": self.using, "covered": self.covered,
+                "limit": print_expr(self.limit) if self.limit else None}
 
 
 @dataclass
@@ -84,12 +92,17 @@ class IndexScan(PlanOp):
     covered: bool = False
     #: Dotted paths of the index keys, for covered-row reconstruction.
     cover_paths: list[str] = field(default_factory=list)
+    #: LIMIT pushed into the scan (set by the planner only when the span
+    #: subsumes the filter and nothing downstream drops or reorders
+    #: rows), so the indexer stops walking the tree after enough rows.
+    limit: Expr | None = None
 
     def describe(self) -> dict:
         return {"#operator": "IndexScan", "keyspace": self.keyspace,
                 "as": self.alias, "index": self.index_name,
                 "span": self.span.describe(), "using": self.using,
-                "covers": self.cover_paths if self.covered else None}
+                "covers": self.cover_paths if self.covered else None,
+                "limit": print_expr(self.limit) if self.limit else None}
 
 
 @dataclass

@@ -26,7 +26,7 @@ nested-loop key-lookup join of section 4.5.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..common.errors import NoSuitableIndexError, N1qlSemanticError
 from .catalog import Catalog
@@ -78,6 +78,11 @@ class Bounds:
     low_inclusive: bool = True
     high: Expr | None = None
     high_inclusive: bool = True
+    #: WHERE conjuncts *fully absorbed* into these bounds: every row the
+    #: bounds admit satisfies the conjunct.  LIKE-prefix ranges are not
+    #: recorded (the range is a superset of the matches).  Used for the
+    #: LIMIT-pushdown subsumption check.
+    sources: list = field(default_factory=list)
 
     @property
     def restricted(self) -> bool:
@@ -135,20 +140,25 @@ def extract_bounds(where: Expr | None, alias: str) -> dict[str, Bounds]:
                 b = bound_for(path)
                 if op == "=":
                     b.eq = right
+                    b.sources.append(conjunct)
                 elif op in (">", ">="):
                     if b.low is None:
                         b.low = right
                         b.low_inclusive = op == ">="
+                        b.sources.append(conjunct)
                 elif op in ("<", "<="):
                     if b.high is None:
                         b.high = right
                         b.high_inclusive = op == "<="
+                        b.sources.append(conjunct)
                 break
         elif isinstance(conjunct, Between) and not conjunct.negated:
             path = path_of(conjunct.operand, strip_alias=alias)
             if path is not None and is_constant(conjunct.low) \
                     and is_constant(conjunct.high):
                 b = bound_for(path)
+                if b.low is None and b.high is None:
+                    b.sources.append(conjunct)
                 if b.low is None:
                     b.low = conjunct.low
                 if b.high is None:
@@ -178,6 +188,17 @@ def _like_prefix(pattern: str) -> str:
             break
         prefix.append(char)
     return "".join(prefix)
+
+
+def _span_absorbs_where(where: Expr | None, used_bounds: list[Bounds]) -> bool:
+    """True when every WHERE conjunct was fully absorbed into a bound the
+    scan span actually uses -- i.e. the scan returns only rows the Filter
+    would keep anyway.  That is the precondition for pushing LIMIT into
+    the scan: stopping the scan early must not starve the filter."""
+    absorbed: set[int] = set()
+    for b in used_bounds:
+        absorbed.update(id(conjunct) for conjunct in b.sources)
+    return all(id(conjunct) in absorbed for conjunct in split_conjuncts(where))
 
 
 def referenced_paths(statement: SelectStatement, alias: str) -> set[str] | None:
@@ -236,7 +257,7 @@ def referenced_paths(statement: SelectStatement, alias: str) -> set[str] | None:
         walk(term.expr)
     for _name, expr in statement.let_bindings:
         walk(expr)
-    for clause in statement.joins:
+    if statement.joins:
         return None  # joins reference whole documents; keep it simple
     if impossible[0]:
         return None
@@ -358,6 +379,8 @@ class Planner:
             order_terms = []  # the scan already yields index order
         if order_terms:
             operators.append(OrderOp(order_terms))
+        if not order_terms:
+            self._push_limit(statement, operators, aggregates)
         if statement.offset is not None:
             operators.append(OffsetOp(statement.offset))
         if statement.limit is not None:
@@ -367,6 +390,27 @@ class Planner:
             operators.append(DistinctOp())
         operators.append(FinalProject())
         return QueryPlan(operators, default_alias, "SELECT")
+
+    def _push_limit(self, statement, operators, aggregates) -> None:
+        """LIMIT pushdown: when nothing between the scan and the LIMIT
+        can drop, multiply, or reorder rows, the scan itself can stop
+        after LIMIT (+ OFFSET) entries -- the indexer stops walking the
+        tree instead of materializing the whole range (the dominant cost
+        of the YCSB-E scan shape)."""
+        if statement.limit is None or statement.group_by or aggregates \
+                or statement.having is not None or statement.distinct \
+                or statement.joins or statement.let_bindings:
+            return
+        scan = operators[0] if operators else None
+        if not isinstance(scan, (IndexScan, PrimaryScan)) \
+                or scan.using != "gsi":
+            return
+        if not getattr(scan, "_filter_subsumed", False):
+            return
+        limit = statement.limit
+        if statement.offset is not None:
+            limit = Binary("+", limit, statement.offset)
+        scan.limit = limit
 
     def _index_provides_order(self, statement, operators,
                               order_terms) -> bool:
@@ -429,19 +473,29 @@ class Planner:
         # Fall back to a primary scan (section 5.1.1 warns about these).
         primary = self.catalog.gsi_primary(term.keyspace)
         if primary is not None:
+            # The primary index yields meta().id itself: queries that
+            # reference nothing else (the YCSB-E scan shape) skip the
+            # Fetch entirely, just like a covering secondary index.
+            referenced = referenced_paths(statement, term.alias)
+            covered = referenced is not None and referenced <= {"meta().id"}
             id_bounds = bounds.get("meta().id")
             span = _span_from_bounds([id_bounds] if id_bounds else [])
             if id_bounds is not None and id_bounds.restricted:
-                return [
-                    IndexScan(term.alias, term.keyspace,
-                              primary.definition.name, span, using="gsi"),
-                    Fetch(term.alias, term.keyspace),
-                ]
-            return [
-                PrimaryScan(term.alias, term.keyspace,
-                            primary.definition.name, "gsi"),
-                Fetch(term.alias, term.keyspace),
-            ]
+                scan = IndexScan(term.alias, term.keyspace,
+                                 primary.definition.name, span, using="gsi",
+                                 covered=covered, cover_paths=[])
+                scan._filter_subsumed = _span_absorbs_where(
+                    statement.where, [id_bounds])
+                if covered:
+                    return [scan]
+                return [scan, Fetch(term.alias, term.keyspace)]
+            scan = PrimaryScan(term.alias, term.keyspace,
+                               primary.definition.name, "gsi",
+                               covered=covered)
+            scan._filter_subsumed = statement.where is None
+            if covered:
+                return [scan]
+            return [scan, Fetch(term.alias, term.keyspace)]
         view_primary = self.catalog.view_primary(term.keyspace)
         if view_primary is not None:
             return [
@@ -481,10 +535,17 @@ class Planner:
         )
         sargable, covered, chosen, cover_paths = candidates[0]
         if hasattr(chosen, "extractors"):  # a GSI IndexDefinition
-            span = self._build_span(chosen, bounds)
+            span, used = self._build_span(chosen, bounds)
             scan = IndexScan(term.alias, term.keyspace, chosen.name, span,
                              using="gsi", covered=covered,
                              cover_paths=cover_paths)
+            # Array indexes can emit a doc per element, so an early stop
+            # could under-count; plain indexes qualify for LIMIT pushdown
+            # when the span subsumes the whole WHERE clause.
+            scan._filter_subsumed = (
+                chosen.array_component is None
+                and _span_absorbs_where(statement.where, used)
+            )
             if covered:
                 return [scan]
             return [scan, Fetch(term.alias, term.keyspace)]
@@ -528,10 +589,11 @@ class Planner:
         covered = referenced <= available
         return covered, list(definition.key_sources)
 
-    def _build_span(self, definition, bounds) -> ScanSpan:
+    def _build_span(self, definition, bounds) -> tuple[ScanSpan, list[Bounds]]:
         lows: list[Expr] = []
         highs: list[Expr] = []
         inclusive_low = inclusive_high = True
+        used: list[Bounds] = []
         for path in definition.key_sources:
             if definition.array_component is not None:
                 element = path.replace("distinct array ", "")
@@ -540,6 +602,7 @@ class Planner:
                 b = bounds.get(path)
             if b is None or not b.restricted:
                 break
+            used.append(b)
             if b.eq is not None:
                 lows.append(b.eq)
                 highs.append(b.eq)
@@ -551,12 +614,13 @@ class Planner:
                 highs.append(b.high)
                 inclusive_high = b.high_inclusive
             break
-        return ScanSpan(
+        span = ScanSpan(
             low=lows or None,
             high=highs or None,
             inclusive_low=inclusive_low,
             inclusive_high=inclusive_high,
         )
+        return span, used
 
 
 def _span_from_bounds(bound_list) -> ScanSpan:

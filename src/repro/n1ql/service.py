@@ -15,6 +15,8 @@ VIEW); and honors the per-query ``scan_consistency`` parameter
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,11 +26,13 @@ from ..common.errors import (
 )
 from ..gsi.indexdef import IndexDefinition, primary_index
 from .catalog import Catalog, ViewIndexInfo
+from .compile import compile_expr
 from .dml import execute_delete, execute_insert, execute_update
 from .expressions import Env, Evaluator
 from .operators import ExecutionContext
 from .parser import parse
 from .pipeline import execute_plan
+from .plan import QueryPlan
 from .planner import Planner
 from .printer import path_of, print_expr
 from .syntax import (
@@ -123,6 +127,59 @@ def _strip_keyspace_prefix(expr: Expr, keyspace: str) -> Expr:
     return rewrite(expr)
 
 
+@dataclass
+class CachedPlan:
+    """One plan-cache / prepared-statement entry: the parsed statement
+    (kept for re-planning), its plan, and the catalog epoch the plan was
+    built under."""
+
+    statement: SelectStatement
+    plan: QueryPlan
+    epoch: tuple
+
+    def __getitem__(self, index):
+        # Backward compatibility with the original (statement, plan)
+        # tuples a few tests unpack.
+        return (self.statement, self.plan, self.epoch)[index]
+
+
+class PlanCache:
+    """LRU of compiled plans for *ad-hoc* statements, keyed by statement
+    text.  Repeated ad-hoc SELECTs get the prepared-statement treatment
+    (skip parse + plan) automatically; entries built under an older
+    catalog epoch are discarded on lookup, so index/keyspace DDL can
+    never leave a stale plan running."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._entries
+
+    def get(self, text: str, epoch: tuple) -> CachedPlan | None:
+        entry = self._entries.get(text)
+        if entry is None:
+            return None
+        if entry.epoch != epoch:
+            del self._entries[text]
+            return None
+        self._entries.move_to_end(text)
+        return entry
+
+    def put(self, text: str, entry: CachedPlan) -> None:
+        self._entries[text] = entry
+        self._entries.move_to_end(text)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class QueryService:
     """N1QL front end on one query node."""
 
@@ -133,11 +190,19 @@ class QueryService:
             cluster.query_catalog = Catalog(cluster)
         self.catalog: Catalog = cluster.query_catalog
         self.planner = Planner(self.catalog)
-        #: name -> (SelectStatement, QueryPlan); populated by PREPARE.
-        #: Query parsing and planning "are done serially" (section
-        #: 4.5.3), so skipping them per request is a real win for hot
-        #: statements.
-        self.prepared: dict[str, tuple] = {}
+        #: name -> CachedPlan; populated by PREPARE.  Query parsing and
+        #: planning "are done serially" (section 4.5.3), so skipping
+        #: them per request is a real win for hot statements.  Entries
+        #: are re-planned when the catalog epoch moves (index/keyspace
+        #: DDL), never silently executed against dropped indexes.
+        self.prepared: dict[str, CachedPlan] = {}
+        #: Ad-hoc plan cache, keyed by statement text.
+        self.plan_cache = PlanCache()
+        #: One long-lived data-service client shared by every query this
+        #: service runs, so the cluster-map cache and the node-grouped
+        #: batch path survive across queries (previously each
+        #: ExecutionContext called ``cluster.connect()`` afresh).
+        self.client = cluster.connect()
 
     # -- entry point --------------------------------------------------------------------
 
@@ -153,14 +218,26 @@ class QueryService:
             raise N1qlSemanticError(
                 "at_plus requires mutation tokens (consistent_with=...)"
             )
+        metrics = self.node.metrics
+        metrics.inc("n1ql.requests")
+        tokens = consistent_with or []
+        cached = self.plan_cache.get(text, self.catalog.current_epoch())
+        if cached is not None:
+            metrics.inc("n1ql.plan_cache.hit")
+            self._scan_tokens = tokens
+            return self._run_select(cached.plan,
+                                    _normalize_params(params),
+                                    scan_consistency)
+        start = time.perf_counter()
         statement = parse(text)
-        self.node.metrics.inc("n1ql.requests")
+        metrics.observe("n1ql.parse_seconds", time.perf_counter() - start)
         return self._dispatch(statement, _normalize_params(params),
-                              scan_consistency, consistent_with or [])
+                              scan_consistency, tokens, text=text)
 
     def _dispatch(self, statement, params: dict,
                   scan_consistency: str,
-                  scan_tokens: list | None = None) -> QueryResult:
+                  scan_tokens: list | None = None,
+                  text: str | None = None) -> QueryResult:
         self._scan_tokens = scan_tokens or []
         from .syntax import ExecuteStatement, PrepareStatement
         if isinstance(statement, PrepareStatement):
@@ -171,7 +248,8 @@ class QueryService:
         if isinstance(statement, ExplainStatement):
             return self._explain(statement.statement, params)
         if isinstance(statement, SelectStatement):
-            return self._select(statement, params, scan_consistency)
+            return self._select(statement, params, scan_consistency,
+                                text=text)
         if isinstance(statement, InsertStatement):
             self.catalog.require_keyspace(statement.keyspace)
             ctx = self._context(params, scan_consistency, statement.keyspace)
@@ -211,24 +289,47 @@ class QueryService:
         evaluator = Evaluator(params, default_alias)
         return ExecutionContext(self.cluster, evaluator, scan_consistency,
                                 metrics=self.node.metrics,
-                                scan_tokens=getattr(self, "_scan_tokens", []))
+                                scan_tokens=getattr(self, "_scan_tokens", []),
+                                client=self.client)
+
+    def _plan(self, statement: SelectStatement) -> QueryPlan:
+        start = time.perf_counter()
+        plan = self.planner.plan_select(statement)
+        self.node.metrics.observe("n1ql.plan_seconds",
+                                  time.perf_counter() - start)
+        return plan
+
+    def _run_select(self, plan: QueryPlan, params: dict,
+                    scan_consistency: str) -> QueryResult:
+        """Single exit for every SELECT execution path (ad-hoc, cached,
+        prepared), so request accounting cannot drift between them."""
+        ctx = self._context(params, scan_consistency, plan.default_alias)
+        start = time.perf_counter()
+        rows = list(execute_plan(plan, ctx))
+        metrics = self.node.metrics
+        metrics.observe("n1ql.exec_seconds", time.perf_counter() - start)
+        metrics.inc("n1ql.selects")
+        metrics.inc("n1ql.result_rows", len(rows))
+        return QueryResult(rows=rows, metrics={"resultCount": len(rows)})
 
     def _select(self, statement: SelectStatement, params: dict,
-                scan_consistency: str) -> QueryResult:
-        plan = self.planner.plan_select(statement)
-        ctx = self._context(params, scan_consistency, plan.default_alias)
-        rows = list(execute_plan(plan, ctx))
-        self.node.metrics.inc("n1ql.selects")
-        return QueryResult(rows=rows, metrics={"resultCount": len(rows)})
+                scan_consistency: str, text: str | None = None) -> QueryResult:
+        epoch = self.catalog.current_epoch()
+        plan = self._plan(statement)
+        if text is not None:
+            self.node.metrics.inc("n1ql.plan_cache.miss")
+            self.plan_cache.put(text, CachedPlan(statement, plan, epoch))
+        return self._run_select(plan, params, scan_consistency)
 
     def _prepare(self, statement) -> QueryResult:
         """PREPARE [name FROM] <select>: parse and plan once, cache."""
         inner = statement.statement
         if not isinstance(inner, SelectStatement):
             raise N1qlSemanticError("only SELECT statements can be prepared")
-        plan = self.planner.plan_select(inner)
+        epoch = self.catalog.current_epoch()
+        plan = self._plan(inner)
         name = statement.name or f"p{len(self.prepared) + 1}"
-        self.prepared[name] = (inner, plan)
+        self.prepared[name] = CachedPlan(inner, plan, epoch)
         return QueryResult(rows=[{"name": name,
                                   "operator": plan.describe()}])
 
@@ -237,10 +338,16 @@ class QueryService:
         entry = self.prepared.get(name)
         if entry is None:
             raise N1qlSemanticError(f"no prepared statement named {name!r}")
-        _statement, plan = entry
-        ctx = self._context(params, scan_consistency, plan.default_alias)
-        rows = list(execute_plan(plan, ctx))
-        return QueryResult(rows=rows, metrics={"resultCount": len(rows)})
+        current = self.catalog.current_epoch()
+        if entry.epoch != current:
+            # Index or keyspace DDL happened since this statement was
+            # planned; re-plan from the stored AST instead of executing
+            # a plan that may reference a dropped index.
+            entry = CachedPlan(entry.statement,
+                               self._plan(entry.statement), current)
+            self.prepared[name] = entry
+            self.node.metrics.inc("n1ql.prepared.replan")
+        return self._run_select(entry.plan, params, scan_consistency)
 
     def _explain(self, statement, params: dict) -> QueryResult:
         if isinstance(statement, SelectStatement):
@@ -261,22 +368,26 @@ class QueryService:
         stripped to their document-relative form first."""
         expr = _strip_keyspace_prefix(expr, keyspace)
         evaluator = Evaluator({}, default_alias="$doc")
+        compiled = compile_expr(expr, "$doc")
+        self.node.metrics.inc("n1ql.compile.count")
 
         def extract(doc, doc_id):
             env = Env()
             env.bind("$doc", doc, {"id": doc_id})
-            return evaluator.evaluate(expr, env)
+            return compiled(env, evaluator)
 
         return extract
 
     def _compile_condition(self, expr: Expr, keyspace: str):
         expr = _strip_keyspace_prefix(expr, keyspace)
         evaluator = Evaluator({}, default_alias="$doc")
+        compiled = compile_expr(expr, "$doc")
+        self.node.metrics.inc("n1ql.compile.count")
 
         def condition(doc, doc_id):
             env = Env()
             env.bind("$doc", doc, {"id": doc_id})
-            return evaluator.evaluate(expr, env) is True
+            return compiled(env, evaluator) is True
 
         return condition
 

@@ -32,6 +32,11 @@ class AppendLog:
 
     def __init__(self, file: SimulatedFile):
         self.file = file
+        #: Decoded-record cache used by the B-tree layer (offset ->
+        #: decoded node).  Offsets are never rewritten in an append-only
+        #: file -- compaction swaps in a whole new log -- so entries can
+        #: never go stale.
+        self.node_cache: dict[int, tuple] = {}
 
     def append(self, record_type: int, body: bytes) -> int:
         """Append one record; return its offset (for later :meth:`read`)."""

@@ -73,10 +73,22 @@ class BTree:
         body = json.dumps([kind, items], separators=(",", ":")).encode("utf-8")
         return self.log.append(RT_NODE, body)
 
+    #: Bound on the per-log decoded-node cache.  Nodes are immutable at
+    #: their offsets (append-only copy-on-write), so cached entries are
+    #: valid forever; the bound only caps memory.
+    NODE_CACHE_CAPACITY = 4096
+
     def _read_node(self, pointer: int) -> tuple[str, list]:
-        _rt, body = self.log.read(pointer)
-        kind, items = json.loads(body.decode("utf-8"))
-        return kind, items
+        cache = self.log.node_cache
+        node = cache.get(pointer)
+        if node is None:
+            _rt, body = self.log.read(pointer)
+            kind, items = json.loads(body.decode("utf-8"))
+            node = (kind, items)
+            if len(cache) >= self.NODE_CACHE_CAPACITY:
+                cache.pop(next(iter(cache)))
+            cache[pointer] = node
+        return node
 
     # -- reduce ---------------------------------------------------------------
 

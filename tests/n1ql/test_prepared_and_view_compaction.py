@@ -55,31 +55,59 @@ class TestPreparedStatements:
         with pytest.raises(N1qlSemanticError):
             cluster.query('PREPARE p2 FROM DELETE FROM b x USE KEYS "u01"')
 
-    def test_prepared_plan_is_frozen(self, cluster):
-        """The plan is chosen at PREPARE time; a later better index does
-        not change it (real prepared-statement semantics)."""
+    def test_prepared_plan_stable_without_ddl(self, cluster):
+        """With no DDL in between, EXECUTE reuses the exact plan object
+        built at PREPARE time (no silent re-planning per request)."""
         cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
-        cluster.query("PREPARE frozen FROM SELECT x.name FROM b x "
+        cluster.query("PREPARE stable FROM SELECT x.name FROM b x "
                       "WHERE x.name = 'n01'")
         from repro.cluster.services import Service
         service = cluster.service_node(Service.QUERY).query_service
-        plan_before = service.prepared["frozen"][1]
+        plan_before = service.prepared["stable"][1]
         assert type(plan_before.operators[0]).__name__ == "PrimaryScan"
-        # A better index appears; the cached plan must not change.
+        for _ in range(3):
+            rows = cluster.query("EXECUTE stable",
+                                 scan_consistency="request_plus").rows
+            assert rows == [{"name": "n01"}]
+        assert service.prepared["stable"][1] is plan_before
+
+    def test_prepared_plan_replanned_after_ddl(self, cluster):
+        """Index DDL moves the catalog epoch, so the next EXECUTE
+        re-plans from the stored AST — the stale-plan bug where a
+        prepared IndexScan silently survived DROP INDEX is gone, and a
+        better index created after PREPARE gets picked up too."""
+        cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+        cluster.query("PREPARE hotpath FROM SELECT x.name FROM b x "
+                      "WHERE x.name = 'n01'")
+        from repro.cluster.services import Service
+        service = cluster.service_node(Service.QUERY).query_service
+        plan_before = service.prepared["hotpath"][1]
+        assert type(plan_before.operators[0]).__name__ == "PrimaryScan"
         cluster.query("CREATE INDEX by_name ON b(name) USING GSI")
-        rows = cluster.query("EXECUTE frozen",
+        rows = cluster.query("EXECUTE hotpath",
                              scan_consistency="request_plus").rows
         assert rows == [{"name": "n01"}]
-        assert service.prepared["frozen"][1] is plan_before
+        plan_after = service.prepared["hotpath"][1]
+        assert plan_after is not plan_before
+        scan = plan_after.operators[0]
+        assert type(scan).__name__ == "IndexScan"
+        assert scan.index_name == "by_name"
 
     def test_prepared_faster_than_adhoc(self, cluster):
-        """Skipping parse+plan must not be slower than re-doing it."""
+        """Skipping parse+plan must not be slower than re-doing it.
+
+        Ad-hoc statements now hit the plan cache too, which would make
+        both sides identical -- clear it each round so the ad-hoc loop
+        really pays for parse+plan."""
         import time
+        from repro.cluster.services import Service
+        service = cluster.service_node(Service.QUERY).query_service
         cluster.query("PREPARE speed FROM SELECT x.name FROM b x "
                       "WHERE x.age = $1")
         n = 50
         start = time.perf_counter()
         for _ in range(n):
+            service.plan_cache.clear()
             cluster.query("SELECT x.name FROM b x WHERE x.age = $1",
                           params={"1": 22})
         adhoc = time.perf_counter() - start

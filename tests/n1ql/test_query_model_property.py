@@ -11,6 +11,10 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster
+from repro.n1ql.collation import MISSING
+from repro.n1ql.compile import compile_expr
+from repro.n1ql.expressions import Env, Evaluator
+from repro.n1ql.parser import parse
 
 # -- document and predicate generators ---------------------------------------
 
@@ -196,3 +200,110 @@ class TestWherePredicates:
         from collections import Counter
         model = Counter(doc["a"] for doc in docs)
         assert {(r["a"], r["n"]) for r in rows} == set(model.items())
+
+
+# -- compiled vs. interpreted expression evaluation ----------------------------
+#
+# The expression compiler (n1ql/compile.py) lowers ASTs into closures
+# once per plan.  It must be *observationally identical* to the tree-
+# walking Evaluator, including the MISSING/NULL discipline and exact
+# result types (True is not 1; 2 is not 2.0).
+
+@st.composite
+def scalar_expressions(draw, depth=0):
+    """Random N1QL scalar expression strings over fields of alias x.
+
+    ``x.a`` is always an int, ``x.b``/``x.c`` are sometimes absent, and
+    ``x.d`` never exists -- so MISSING propagation is exercised
+    constantly, not just at the fringes.
+    """
+    # No negative literals: "-3" under a NOT/negation shape would lex
+    # "--" as a line comment.  Negative values come from the neg shape.
+    leaves = ["x.a", "x.b", "x.c", "x.d", "7", "3", "2.5", "'red'",
+              "'zz'", "NULL", "TRUE", "FALSE"]
+    if depth >= 3:
+        return draw(st.sampled_from(leaves))
+    shape = draw(st.sampled_from(
+        ["leaf", "leaf", "arith", "cmp", "and", "or", "not", "neg",
+         "is", "between", "in", "concat", "case"]))
+    if shape == "leaf":
+        return draw(st.sampled_from(leaves))
+    sub = scalar_expressions(depth=depth + 1)
+    if shape == "arith":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+        return f"({draw(sub)} {op} {draw(sub)})"
+    if shape == "cmp":
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        return f"({draw(sub)} {op} {draw(sub)})"
+    if shape in ("and", "or"):
+        return f"({draw(sub)} {shape.upper()} {draw(sub)})"
+    if shape == "not":
+        return f"(NOT {draw(sub)})"
+    if shape == "neg":
+        return f"(-{draw(sub)})"
+    if shape == "is":
+        word = draw(st.sampled_from(
+            ["IS MISSING", "IS NOT MISSING", "IS NULL", "IS NOT NULL",
+             "IS VALUED"]))
+        return f"({draw(sub)} {word})"
+    if shape == "between":
+        return f"({draw(sub)} BETWEEN {draw(sub)} AND {draw(sub)})"
+    if shape == "in":
+        items = ", ".join(draw(st.lists(sub, min_size=1, max_size=3)))
+        return f"({draw(sub)} IN [{items}])"
+    if shape == "concat":
+        return f"({draw(sub)} || {draw(sub)})"
+    when = draw(sub)
+    then = draw(sub)
+    otherwise = draw(sub)
+    return f"(CASE WHEN {when} THEN {then} ELSE {otherwise} END)"
+
+
+expression_documents = st.fixed_dictionaries(
+    {"a": st.integers(-5, 20)},
+    optional={
+        "b": st.sampled_from(["red", "green", "blue"]),
+        "c": st.integers(-5, 5),
+    },
+)
+
+
+class TestCompiledMatchesInterpreted:
+    @settings(max_examples=300, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(expression_documents, scalar_expressions())
+    def test_compiled_equals_interpreted(self, doc, text):
+        statement = parse(f"SELECT {text} AS v FROM b x")
+        expr = statement.projections[0].expr
+        evaluator = Evaluator({}, default_alias="x")
+
+        def fresh_env():
+            env = Env()
+            env.bind("x", dict(doc), {"id": "d1"})
+            return env
+
+        interpreted = evaluator.evaluate(expr, fresh_env())
+        compiled = compile_expr(expr, "x")
+        got = compiled(fresh_env(), evaluator)
+        # MISSING must stay the sentinel (never collapse to None), and
+        # result types must match exactly (bool vs int, int vs float).
+        assert (got is MISSING) == (interpreted is MISSING)
+        if interpreted is not MISSING:
+            assert type(got) is type(interpreted)
+            assert got == interpreted
+
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(expression_documents, scalar_expressions())
+    def test_compiled_predicate_verdict_matches(self, doc, text):
+        """WHERE keeps a row only on exact TRUE; the compiled predicate
+        must reach the same verdict as the interpreter for every
+        expression, including non-boolean and MISSING results."""
+        statement = parse(f"SELECT x.a FROM b x WHERE {text}")
+        condition = statement.where
+        evaluator = Evaluator({}, default_alias="x")
+        env = Env()
+        env.bind("x", dict(doc), {"id": "d1"})
+        interpreted = evaluator.evaluate(condition, env) is True
+        compiled = compile_expr(condition, "x")
+        assert (compiled(env, evaluator) is True) == interpreted
