@@ -25,6 +25,7 @@ from typing import Any, Iterable, Iterator, Mapping
 from ..common.document import Document
 from ..common.errors import (
     BucketNotFoundError,
+    NotConnectedError,
     KeyNotFoundError,
     NodeDownError,
     NotMyVBucketError,
@@ -33,7 +34,7 @@ from ..common.errors import (
 from ..common.jsonval import JsonValue
 from ..common.scheduler import Scheduler
 from ..common.transport import Network
-from ..kv.engine import MutationResult
+from ..kv.types import MutationResult
 from ..replication.durability import DurabilityMonitor, DurabilityRequirement
 
 _client_ids = itertools.count(1)
@@ -341,7 +342,7 @@ class SmartClient:
               consistent_with=None):
         """Send a N1QL statement to a query-service node."""
         if getattr(self, "cluster", None) is None:
-            raise RuntimeError("client not connected through a Cluster facade")
+            raise NotConnectedError("client not connected through a Cluster facade")
         return self.cluster.query(statement, params,
                                   scan_consistency=scan_consistency,
                                   consistent_with=consistent_with)
@@ -352,7 +353,7 @@ class SmartClient:
         """Query a view with the REST-style parameters (key, keys,
         startkey/endkey, stale, group, limit, ...)."""
         if getattr(self, "cluster", None) is None:
-            raise RuntimeError("client not connected through a Cluster facade")
+            raise NotConnectedError("client not connected through a Cluster facade")
         return self.cluster.views.query(bucket, design, view, **params)
 
     def _wait_durable(self, bucket: str, key: str, result: MutationResult,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import Counter
 
 from ..common.crc import vbucket_for_key
+from ..common.errors import InvalidArgumentError
 
 #: The paper is emphatic that this is not configurable in real
 #: deployments; tests shrink it only for speed.
@@ -96,9 +97,9 @@ def plan_map(
     and then rebalance overloaded nodes minimally.
     """
     if not nodes:
-        raise ValueError("cannot plan a cluster map with zero nodes")
+        raise InvalidArgumentError("cannot plan a cluster map with zero nodes")
     if not 0 <= num_replicas <= MAX_REPLICAS:
-        raise ValueError(f"num_replicas must be 0..{MAX_REPLICAS}")
+        raise InvalidArgumentError(f"num_replicas must be 0..{MAX_REPLICAS}")
     effective_replicas = min(num_replicas, len(nodes) - 1)
     chain_length = 1 + num_replicas
     ordered_nodes = sorted(nodes)

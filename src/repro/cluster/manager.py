@@ -22,6 +22,8 @@ from ..common.errors import (
     BucketExistsError,
     BucketNotFoundError,
     NodeDownError,
+    NodeExistsError,
+    NodeNotFoundError,
     NoQuorumError,
 )
 from ..common.scheduler import Scheduler
@@ -71,7 +73,7 @@ class ClusterManager:
 
     def add_node(self, node: Node) -> None:
         if node.name in self.nodes:
-            raise ValueError(f"duplicate node name {node.name!r}")
+            raise NodeExistsError(node.name)
         self.nodes[node.name] = node
         self.ejected.discard(node.name)
         self._log("node-added", node.name)
@@ -255,7 +257,7 @@ class ClusterManager:
         ``node_name`` and eject the node.  Returns per-bucket counts of
         promoted and (replica-less) lost vBuckets."""
         if node_name not in self.nodes:
-            raise ValueError(f"unknown node {node_name!r}")
+            raise NodeNotFoundError(node_name)
         self.ejected.add(node_name)
         self._suspects.pop(node_name, None)
         report: dict[str, dict] = {}

@@ -24,7 +24,8 @@ from ..common.errors import BucketNotFoundError
 from ..common.metrics import MetricsRegistry
 from ..common.transport import Network
 from ..dcp.producer import DcpProducer
-from ..kv.engine import KVEngine, MutationResult, ObserveResult, VBucketState
+from ..kv.engine import KVEngine
+from ..kv.types import MutationResult, ObserveResult, VBucketState
 from .cluster_map import ClusterMap
 from .services import BucketConfig, Service
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from ..common.errors import RebalanceInProgressError
 from ..dcp.messages import Deletion, Mutation
-from ..kv.engine import VBucketState
+from ..kv.types import VBucketState
 from .cluster_map import plan_map
 from .manager import ClusterManager
 

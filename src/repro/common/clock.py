@@ -10,6 +10,8 @@ that nondeterministic and slow to test, so every component takes a
 
 from __future__ import annotations
 
+from .errors import InvalidArgumentError
+
 
 class Clock:
     """Abstract time source.  ``now()`` returns seconds as a float."""
@@ -37,12 +39,12 @@ class VirtualClock(Clock):
 
     def advance(self, seconds: float) -> None:
         if seconds < 0:
-            raise ValueError(f"cannot move time backwards ({seconds})")
+            raise InvalidArgumentError(f"cannot move time backwards ({seconds})")
         self._now += seconds
 
     def advance_to(self, when: float) -> None:
         if when < self._now:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"cannot move time backwards (now={self._now}, target={when})"
             )
         self._now = when

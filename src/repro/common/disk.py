@@ -13,7 +13,7 @@ the compaction ablation bench to measure write amplification.
 
 from __future__ import annotations
 
-from ..common.errors import DiskFullError
+from ..common.errors import DiskFullError, InvalidArgumentError
 
 
 class SimulatedFile:
@@ -55,7 +55,7 @@ class SimulatedFile:
 
     def read(self, offset: int, length: int) -> bytes:
         if offset < 0 or offset + length > len(self._data):
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"read past EOF in {self.name!r}: "
                 f"offset={offset} length={length} size={len(self._data)}"
             )

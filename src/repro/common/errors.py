@@ -14,6 +14,20 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
+class InvalidArgumentError(ReproError, ValueError):
+    """A service was handed an argument it cannot act on -- an unknown
+    enum value, an out-of-range bound, a malformed spec.  Subclasses the
+    builtin :class:`ValueError` so pre-taxonomy callers that catch
+    ``ValueError`` keep working."""
+
+
+class LivelockError(ReproError, RuntimeError):
+    """A bounded drive loop (scheduler rounds, XDCR settle) failed to
+    quiesce within its safety-valve budget, which indicates components
+    feeding each other work forever.  Subclasses the builtin
+    :class:`RuntimeError` for pre-taxonomy callers."""
+
+
 # ---------------------------------------------------------------------------
 # Key-value (memcached-style) protocol errors -- section 3.1.1 of the paper.
 # ---------------------------------------------------------------------------
@@ -145,6 +159,27 @@ class ServiceUnavailableError(ClusterError):
         self.service = service
 
 
+class NodeExistsError(ClusterError, ValueError):
+    """A node with the given name is already a cluster member."""
+
+    def __init__(self, node_name: str):
+        super().__init__(f"duplicate node name {node_name!r}")
+        self.node_name = node_name
+
+
+class NodeNotFoundError(ClusterError, ValueError):
+    """A management operation named a node the cluster does not know."""
+
+    def __init__(self, node_name: str):
+        super().__init__(f"unknown node {node_name!r}")
+        self.node_name = node_name
+
+
+class NotConnectedError(ClusterError, RuntimeError):
+    """The client is not wired to a cluster facade, so operations that
+    need topology access (N1QL, view queries) cannot be routed."""
+
+
 # ---------------------------------------------------------------------------
 # Storage errors -- section 4.3.3.
 # ---------------------------------------------------------------------------
@@ -217,6 +252,17 @@ class ViewNotFoundError(IndexError_):
         super().__init__(f"view not found: {design!r}/{view!r}")
         self.design = design
         self.view = view
+
+
+class ViewExistsError(IndexError_, ValueError):
+    def __init__(self, full_name: str):
+        super().__init__(f"view already defined: {full_name}")
+        self.full_name = full_name
+
+
+class ViewQueryError(IndexError_, ValueError):
+    """A view query asked for something the view cannot answer, e.g.
+    reduce output from a map-only view."""
 
 
 # ---------------------------------------------------------------------------

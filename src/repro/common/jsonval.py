@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from .errors import InvalidArgumentError
+
 JsonValue = None | bool | int | float | str | list | dict
 
 #: Rough per-object overhead charged by the memory accountant, tuned to be
@@ -122,7 +124,7 @@ def set_path(value: JsonValue, path: str, new_value: JsonValue) -> None:
     objects as needed.  Raises :class:`TypeError` when a step traverses a
     non-container."""
     if not path:
-        raise ValueError("empty path")
+        raise InvalidArgumentError("empty path")
     steps = path.split(".")
     current = value
     for step in steps[:-1]:
@@ -146,7 +148,7 @@ def set_path(value: JsonValue, path: str, new_value: JsonValue) -> None:
 def unset_path(value: JsonValue, path: str) -> bool:
     """Remove a dotted path; returns True if something was removed."""
     if not path:
-        raise ValueError("empty path")
+        raise InvalidArgumentError("empty path")
     steps = path.split(".")
     found, parent = get_path(value, ".".join(steps[:-1]))
     if not found:

@@ -9,7 +9,9 @@ matter how many samples are recorded.
 from __future__ import annotations
 
 import math
+import time
 from collections import defaultdict
+from contextlib import contextmanager
 
 
 class Counter:
@@ -100,6 +102,23 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histograms[name].record(value)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Record the duration of a ``with`` block into histogram ``name``.
+
+        This is the one sanctioned wall-clock read in the library: the
+        measured quantity *is* elapsed real time (how long our own code
+        took), never simulated time, so it cannot leak nondeterminism
+        into simulation logic.  Everything else must use the injected
+        Clock -- enforced by repro-lint's no-wall-clock rule.
+        """
+        start = time.perf_counter()  # repro-lint: disable=no-wall-clock
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start  # repro-lint: disable=no-wall-clock
+            self.histograms[name].record(elapsed)
 
     def counter_value(self, name: str) -> int:
         return self.counters[name].value if name in self.counters else 0

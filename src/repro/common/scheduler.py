@@ -25,6 +25,7 @@ import itertools
 from typing import Callable
 
 from .clock import VirtualClock
+from .errors import LivelockError
 
 Pump = Callable[[], bool]
 
@@ -81,7 +82,7 @@ class Scheduler:
         while self.step():
             rounds += 1
             if rounds > self.MAX_ROUNDS:
-                raise RuntimeError(
+                raise LivelockError(
                     "scheduler livelock: pumps still busy after "
                     f"{self.MAX_ROUNDS} rounds: {self.pump_names()}"
                 )
@@ -101,7 +102,7 @@ class Scheduler:
                 return True
             if not progressed:
                 return condition()
-        raise RuntimeError("run_until exceeded max_rounds without idling")
+        raise LivelockError("run_until exceeded max_rounds without idling")
 
     # -- timers ------------------------------------------------------------
 

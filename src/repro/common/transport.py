@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any
 
-from .errors import NodeDownError
+from .errors import InvalidArgumentError, NodeDownError
 
 
 class Network:
@@ -72,7 +72,7 @@ class Network:
         ``heal(a, b)`` removes just that pair."""
         if a is None:
             if b is not None:
-                raise ValueError(
+                raise InvalidArgumentError(
                     "heal(None, node) is ambiguous; pass the node as the "
                     "first argument or call heal() to clear everything"
                 )

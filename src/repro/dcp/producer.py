@@ -21,7 +21,8 @@ from __future__ import annotations
 import math
 
 from ..common.errors import StreamRollbackRequired
-from ..kv.engine import KVEngine, VBucket, VBucketState
+from ..kv.engine import KVEngine, VBucket
+from ..kv.types import VBucketState
 from .messages import Deletion, DcpMessage, Mutation, SnapshotMarker, StreamEnd
 
 

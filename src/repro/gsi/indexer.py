@@ -17,7 +17,7 @@ from __future__ import annotations
 
 
 from ..common.disk import SimulatedDisk
-from ..common.errors import IndexNotFoundError
+from ..common.errors import IndexExistsError, IndexNotFoundError
 from .indexdef import IndexDefinition
 from .projector import KeyVersion
 from .storage import make_storage
@@ -64,7 +64,7 @@ class Indexer:
 
     def create(self, definition: IndexDefinition) -> IndexInstance:
         if definition.name in self.instances:
-            raise ValueError(f"index instance exists: {definition.name}")
+            raise IndexExistsError(definition.name)
         instance = IndexInstance(definition, self.node.disk, self.node.name)
         self.instances[definition.name] = instance
         self.node.metrics.inc("gsi.indexes_hosted")

@@ -23,13 +23,14 @@ from dataclasses import dataclass
 
 from ..common.errors import (
     IndexExistsError,
+    InvalidArgumentError,
     IndexNotFoundError,
     IndexNotReadyError,
     NodeDownError,
     ServiceUnavailableError,
     TimeoutError_,
 )
-from ..kv.engine import VBucketState
+from ..kv.types import VBucketState
 from .indexdef import IndexDefinition
 from .indexer import Indexer
 from .projector import KeyVersion, Router
@@ -270,7 +271,7 @@ class GsiCoordinator:
                 marks[token.vbucket_id] = max(current, token.seqno)
             self._barrier(meta, marks)
         elif consistency != "not_bounded":
-            raise ValueError(f"unknown scan consistency {consistency!r}")
+            raise InvalidArgumentError(f"unknown scan consistency {consistency!r}")
 
         partials = []
         for node_name in dict.fromkeys(meta.nodes):

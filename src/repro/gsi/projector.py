@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from ..common.errors import NodeDownError
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
-from ..kv.engine import VBucketState
+from ..kv.types import VBucketState
 
 
 @dataclass

@@ -21,6 +21,7 @@ import random
 from typing import Any, Iterator
 
 from ..common.disk import SimulatedDisk
+from ..common.errors import InvalidArgumentError
 from ..n1ql.collation import MISSING, compare
 from ..storage.appendlog import AppendLog
 from ..storage.btree import BTree
@@ -263,7 +264,7 @@ class SkipListIndexStorage:
         """Write a full backup of the in-memory index; returns bytes
         written.  Recovery is :meth:`load_snapshot` on a fresh instance."""
         if self._disk is None or self._filename is None:
-            raise ValueError("no backing disk configured for snapshots")
+            raise InvalidArgumentError("no backing disk configured for snapshots")
         import json
         payload = json.dumps(
             [[node_key, doc_id] for node_key, doc_id in self._raw_items()],
@@ -301,4 +302,4 @@ def make_storage(kind: str, disk: SimulatedDisk, filename: str):
         return BTreeIndexStorage(disk, filename)
     if kind == "memopt":
         return SkipListIndexStorage(disk, filename)
-    raise ValueError(f"unknown index storage kind {kind!r}")
+    raise InvalidArgumentError(f"unknown index storage kind {kind!r}")

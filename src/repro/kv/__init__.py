@@ -3,14 +3,9 @@ object-managed cache with value/full eviction, CAS and hard locks,
 asynchronous persistence via the flusher, and the per-vBucket change
 buffers that feed DCP (sections 3.1.1 and 4.3.3)."""
 
-from .engine import (
-    KVEngine,
-    MutationResult,
-    ObserveResult,
-    VBucket,
-    VBucketState,
-)
+from .engine import KVEngine, VBucket
 from .hashtable import CacheEntry, HashTable
+from .types import MutationResult, ObserveResult, VBucketState
 
 __all__ = [
     "CacheEntry",

@@ -17,8 +17,6 @@ an active vBucket assigns sequence numbers and CAS values.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from enum import Enum
 from typing import Callable, Iterator
 
 from ..common.clock import Clock, VirtualClock
@@ -27,6 +25,7 @@ from ..common.document import Document, DocumentMeta
 from ..common.errors import (
     CasMismatchError,
     DocumentLockedError,
+    InvalidArgumentError,
     KeyExistsError,
     KeyNotFoundError,
     NotMyVBucketError,
@@ -37,6 +36,7 @@ from ..common.errors import (
 from ..common.jsonval import JsonValue, deep_copy, sizeof, validate_json_value
 from ..common.metrics import MetricsRegistry
 from .hashtable import HashTable
+from .types import MutationResult, ObserveResult, VBucketState
 
 _vb_uuid_counter = itertools.count(1000)
 
@@ -57,33 +57,6 @@ def _xdcr_wins(incoming: Document, existing: Document) -> bool:
                 not meta.deleted, body)
 
     return sort_token(incoming) > sort_token(existing)
-
-
-class VBucketState(Enum):
-    ACTIVE = "active"
-    REPLICA = "replica"
-    PENDING = "pending"
-    DEAD = "dead"
-
-
-@dataclass
-class MutationResult:
-    """What a client gets back from a write: the new CAS, the mutation's
-    seqno, and the vBucket it landed in (the "mutation token" used for
-    durability observation and request_plus consistency)."""
-
-    cas: int
-    seqno: int
-    vbucket_id: int
-
-
-@dataclass
-class ObserveResult:
-    """Durability status of a key on one node (the observe command)."""
-
-    exists: bool
-    cas: int
-    persisted: bool
 
 
 class VBucket:
@@ -434,7 +407,7 @@ class KVEngine:
         for kind, vbucket_id, key, kwargs in ops:
             handler = handlers.get(kind)
             if handler is None:
-                raise ValueError(f"unknown batch mutation kind {kind!r}")
+                raise InvalidArgumentError(f"unknown batch mutation kind {kind!r}")
             try:
                 out.append(("ok", handler(vbucket_id, key, **kwargs)))
             except ReproError as error:
@@ -484,7 +457,7 @@ class KVEngine:
                     )
                 target.append(deep_copy(value))
             else:
-                raise ValueError(f"unknown sub-document op {op!r}")
+                raise InvalidArgumentError(f"unknown sub-document op {op!r}")
         self.metrics.inc("kv.subdoc_mutations")
         return self.upsert(vbucket_id, key, updated, cas=cas,
                            expiry=entry.doc.meta.expiry,

@@ -1,0 +1,42 @@
+"""Shared key-value protocol types.
+
+These are the values that cross the wire between the data service and
+everything else -- vBucket states in the cluster map, mutation tokens
+returned to clients, observe results used by durability polling.  They
+live apart from :mod:`repro.kv.engine` so that non-data services
+(client, n1ql, gsi, views, xdcr) can name them without importing the
+engine itself; the repro-lint ``no-cross-service-reach-through`` rule
+enforces that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class VBucketState(Enum):
+    ACTIVE = "active"
+    REPLICA = "replica"
+    PENDING = "pending"
+    DEAD = "dead"
+
+
+@dataclass
+class MutationResult:
+    """What a client gets back from a write: the new CAS, the mutation's
+    seqno, and the vBucket it landed in (the "mutation token" used for
+    durability observation and request_plus consistency)."""
+
+    cas: int
+    seqno: int
+    vbucket_id: int
+
+
+@dataclass
+class ObserveResult:
+    """Durability status of a key on one node (the observe command)."""
+
+    exists: bool
+    cas: int
+    persisted: bool

@@ -1,0 +1,90 @@
+"""Command line front end: ``python -m repro.lint [paths...]``.
+
+Exit status is 0 when the tree is clean, 1 when any unsuppressed
+violation is reported, 2 on usage errors -- so CI can gate on it next to
+ruff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import (
+    PROFILES,
+    _ConfigError,
+    all_rules,
+    discover,
+    lint_file,
+    profile_for,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the repro package "
+                    "(determinism, layering, error discipline).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--profile", choices=("auto",) + PROFILES, default="auto",
+        help="auto (default) is strict under src/repro and relaxed "
+             "(wall-clock allowed) elsewhere, e.g. examples/ and "
+             "benchmarks/ harness code",
+    )
+    parser.add_argument(
+        "--select", metavar="RULE[,RULE...]", default=None,
+        help="run only these rules",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule and the invariant it guards, then exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}\n    {rule.invariant}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    files = discover(args.paths)
+    if not files:
+        print(f"repro-lint: no Python files under {args.paths}",
+              file=sys.stderr)
+        return 2
+    violations = []
+    try:
+        for path in files:
+            violations.extend(
+                lint_file(Path(path),
+                          profile=profile_for(Path(path), args.profile),
+                          select=select)
+            )
+    except _ConfigError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.format())
+    if not args.quiet:
+        print(
+            f"repro-lint: {len(violations)} violation"
+            f"{'' if len(violations) == 1 else 's'} "
+            f"in {len(files)} files"
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""The rule harness: contexts, registry, suppressions, file discovery.
+
+Each rule lives in its own module under :mod:`repro.lint.rules` and
+subclasses :class:`Rule`; the harness parses each file once, hands every
+rule the same :class:`LintContext`, and filters out violations the
+source suppresses with ``# repro-lint: disable=<rule>`` comments.  The
+point of the shared context is that a future rule is ~one small file:
+subclass, ``@register_rule``, yield :class:`Violation` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Same-line suppression: ``x = 1  # repro-lint: disable=no-wall-clock``.
+#: ``disable-next=`` on the line *before* covers multi-line statements.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next)\s*=\s*([a-z0-9_,\- ]+)"
+)
+
+#: Rules that the relaxed profile (examples/, benchmarks/) turns off:
+#: harness code legitimately measures wall-clock time.
+RELAXED_EXEMPT = frozenset({"no-wall-clock"})
+
+PROFILES = ("strict", "relaxed")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and what to do about it."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to check one file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: list[str]
+    profile: str = "strict"
+    #: line -> set of rule names disabled on that line ("all" disables every rule).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: (first, last) line ranges of ``if TYPE_CHECKING:`` bodies -- imports
+    #: inside are erased at runtime, so reach-through rules ignore them.
+    type_checking_ranges: list[tuple[int, int]] = field(default_factory=list)
+
+    def in_type_checking_block(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        return any(first <= line <= last
+                   for first, last in self.type_checking_ranges)
+
+    def module_in(self, prefixes: Iterable[str]) -> bool:
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`name` (the suppression/CLI identifier),
+    :attr:`invariant` (the one-line statement of what the rule guards,
+    surfaced by ``--list-rules`` and DESIGN.md), and implement
+    :meth:`check`.
+    """
+
+    name: str = ""
+    invariant: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: LintContext, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if not rule.name:
+        raise _ConfigError(f"rule {cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise _ConfigError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+class _ConfigError(Exception):
+    """Bad linter configuration (unknown rule name, duplicate rule)."""
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, importing the rule modules on first use."""
+    from . import rules  # noqa: F401  (import populates the registry)
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _parse_suppressions(source_lines: list[str]) -> dict[int, set[str]]:
+    suppressed: dict[int, set[str]] = {}
+    for index, line in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        kind, names = match.groups()
+        target = index + 1 if kind == "disable-next" else index
+        rules = {name.strip() for name in names.split(",") if name.strip()}
+        suppressed.setdefault(target, set()).update(rules)
+    return suppressed
+
+
+def _type_checking_ranges(tree: ast.Module) -> list[tuple[int, int]]:
+    ranges = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_tc and node.body:
+            last = max(
+                getattr(n, "end_lineno", None) or 0
+                for n in ast.walk(node)
+                if hasattr(n, "lineno")
+            )
+            ranges.append((node.lineno, max(last, node.lineno)))
+    return ranges
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path for a file: everything from the ``repro``
+    package component down; bare stem for scripts outside the package."""
+    parts = list(path.parts)
+    name = path.stem
+    if "repro" in parts[:-1]:
+        package_parts = parts[parts.index("repro"):-1]
+        if name == "__init__":
+            return ".".join(package_parts)
+        return ".".join(package_parts + [name])
+    return name
+
+
+def build_context(source: str, path: str, module: str,
+                  profile: str = "strict") -> LintContext:
+    tree = ast.parse(source, filename=path)
+    source_lines = source.splitlines()
+    return LintContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source_lines=source_lines,
+        profile=profile,
+        suppressions=_parse_suppressions(source_lines),
+        type_checking_ranges=_type_checking_ranges(tree),
+    )
+
+
+def _active_rules(profile: str, select: Iterable[str] | None) -> list[Rule]:
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.name for rule in rules}
+        if unknown:
+            raise _ConfigError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.name in wanted]
+    if profile == "relaxed":
+        rules = [rule for rule in rules if rule.name not in RELAXED_EXEMPT]
+    return rules
+
+
+def _is_suppressed(violation: Violation,
+                   suppressions: dict[int, set[str]]) -> bool:
+    disabled = suppressions.get(violation.line, set())
+    return violation.rule in disabled or "all" in disabled
+
+
+def lint_source(source: str, path: str = "<string>",
+                module: str | None = None, profile: str = "strict",
+                select: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one source string.  ``module`` defaults from ``path``; pass
+    it explicitly in fixture tests to exercise package-scoped rules."""
+    if module is None:
+        module = module_name_for(Path(path))
+    try:
+        ctx = build_context(source, path, module, profile)
+    except SyntaxError as exc:
+        return [Violation(rule="parse-error", path=path,
+                          line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                          message=f"file does not parse: {exc.msg}")]
+    findings: list[Violation] = []
+    for rule in _active_rules(profile, select):
+        findings.extend(rule.check(ctx))
+    findings = [v for v in findings if not _is_suppressed(v, ctx.suppressions)]
+    findings.sort(key=lambda v: (v.line, v.col, v.rule))
+    return findings
+
+
+def lint_file(path: Path, profile: str = "strict",
+              select: Iterable[str] | None = None) -> list[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path),
+                       module=module_name_for(path), profile=profile,
+                       select=select)
+
+
+def discover(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def profile_for(path: Path, requested: str = "auto") -> str:
+    """``auto`` resolves per file: strict inside the ``repro`` package
+    tree (``src/repro``), relaxed for harness code outside it."""
+    if requested != "auto":
+        return requested
+    parts = path.parts
+    for index, part in enumerate(parts[:-1]):
+        if part == "src" and index + 1 < len(parts) and parts[index + 1] == "repro":
+            return "strict"
+    return "relaxed"
+
+
+def lint_paths(paths: Iterable[str | Path], profile: str = "auto",
+               select: Iterable[str] | None = None) -> list[Violation]:
+    findings: list[Violation] = []
+    for path in discover(paths):
+        findings.extend(
+            lint_file(path, profile=profile_for(path, profile), select=select)
+        )
+    return findings

@@ -1,0 +1,16 @@
+"""Rule modules -- importing this package populates the registry.
+
+One module per rule; each is a :class:`repro.lint.engine.Rule` subclass
+decorated with ``@register_rule``.  Add a rule by dropping a new module
+here and importing it below.
+"""
+
+from . import (  # noqa: F401
+    cross_service,
+    error_taxonomy,
+    metrics_naming,
+    missing_null,
+    no_unseeded_random,
+    no_wall_clock,
+    pump_contract,
+)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable
 
+from ..common.errors import N1qlRuntimeError
 from .collation import MISSING, compare
 
 AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "ARRAY_AGG"}
@@ -409,7 +410,7 @@ class Accumulator:
             return None if self.best is MISSING else self.best
         if self.name == "ARRAY_AGG":
             return self.items if self.items else None
-        raise ValueError(f"unknown aggregate {self.name}")
+        raise N1qlRuntimeError(f"unknown aggregate {self.name}")
 
 
 #: Marker fed to COUNT(*) accumulators: counts rows, not values.

@@ -84,8 +84,10 @@ class ExecutionContext:
         return self.client.multi_get(bucket, keys)
 
     def count(self, name: str, amount: int = 1) -> None:
+        """Forwarding shim over the registry; every caller passes a
+        literal metric name, which the linter checks at the call sites."""
         if self.metrics is not None:
-            self.metrics.inc(name, amount)
+            self.metrics.inc(name, amount)  # repro-lint: disable=metrics-naming
 
 
 def _compiled(op, slot: str, expr, ctx: "ExecutionContext"):

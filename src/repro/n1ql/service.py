@@ -15,7 +15,6 @@ VIEW); and honors the per-query ``scan_consistency`` parameter
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -228,9 +227,8 @@ class QueryService:
             return self._run_select(cached.plan,
                                     _normalize_params(params),
                                     scan_consistency)
-        start = time.perf_counter()
-        statement = parse(text)
-        metrics.observe("n1ql.parse_seconds", time.perf_counter() - start)
+        with metrics.timer("n1ql.parse_seconds"):
+            statement = parse(text)
         return self._dispatch(statement, _normalize_params(params),
                               scan_consistency, tokens, text=text)
 
@@ -293,10 +291,8 @@ class QueryService:
                                 client=self.client)
 
     def _plan(self, statement: SelectStatement) -> QueryPlan:
-        start = time.perf_counter()
-        plan = self.planner.plan_select(statement)
-        self.node.metrics.observe("n1ql.plan_seconds",
-                                  time.perf_counter() - start)
+        with self.node.metrics.timer("n1ql.plan_seconds"):
+            plan = self.planner.plan_select(statement)
         return plan
 
     def _run_select(self, plan: QueryPlan, params: dict,
@@ -304,10 +300,9 @@ class QueryService:
         """Single exit for every SELECT execution path (ad-hoc, cached,
         prepared), so request accounting cannot drift between them."""
         ctx = self._context(params, scan_consistency, plan.default_alias)
-        start = time.perf_counter()
-        rows = list(execute_plan(plan, ctx))
         metrics = self.node.metrics
-        metrics.observe("n1ql.exec_seconds", time.perf_counter() - start)
+        with metrics.timer("n1ql.exec_seconds"):
+            rows = list(execute_plan(plan, ctx))
         metrics.inc("n1ql.selects")
         metrics.inc("n1ql.result_rows", len(rows))
         return QueryResult(rows=rows, metrics={"resultCount": len(rows)})

@@ -23,7 +23,7 @@ from ..common.errors import (
 )
 from ..common.scheduler import Scheduler
 from ..common.transport import Network
-from ..kv.engine import MutationResult
+from ..kv.types import MutationResult
 
 
 @dataclass

@@ -19,7 +19,7 @@ from ..common.errors import NodeDownError, NotMyVBucketError, StreamRollbackRequ
 from ..common.transport import Network
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
-from ..kv.engine import VBucketState
+from ..kv.types import VBucketState
 
 
 class IntraReplicator:

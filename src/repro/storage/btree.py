@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import Callable, Iterator
 
+from ..common.errors import InvalidArgumentError
 from ..common.jsonval import JsonValue
 from .appendlog import RT_NODE, AppendLog
 
@@ -211,7 +212,7 @@ class BTree:
         aggregation at query time" path: interior reductions are consumed
         whole and only the boundary leaves are re-reduced."""
         if self.reduce_fn is None:
-            raise ValueError("tree has no reduce function")
+            raise InvalidArgumentError("tree has no reduce function")
 
         def key_in(key: JsonValue) -> bool:
             if start is not None:

@@ -13,12 +13,17 @@ defined view, and tracks the per-vBucket indexed seqno -- which is what
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
 
+from ..common.errors import ViewExistsError
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
-from ..kv.engine import KVEngine, VBucketState
+from ..kv.types import VBucketState
 from .mapreduce import DocMetaView, ViewDefinition
 from .viewindex import ViewIndex, ViewQueryParams
+
+if TYPE_CHECKING:
+    from ..kv.engine import KVEngine
 
 
 class ViewEngine:
@@ -46,7 +51,7 @@ class ViewEngine:
         active document, as the paper describes."""
         key = (definition.design, definition.name)
         if key in self.indexes:
-            raise ValueError(f"view already defined: {definition.full_name}")
+            raise ViewExistsError(definition.full_name)
         filename = (
             f"views/{self.bucket}/{definition.design}_{definition.name}.view"
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from ..common.disk import SimulatedDisk
+from ..common.errors import ViewQueryError
 from ..n1ql.collation import compare
 from ..storage.appendlog import AppendLog
 from .mapreduce import ReduceFn, ViewDefinition
@@ -179,7 +180,7 @@ class ViewIndex:
         falls back to scan-and-reduce over active rows."""
         definition = self.definition
         if definition.reduce_fn is None:
-            raise ValueError(f"view {definition.full_name} has no reduce")
+            raise ViewQueryError(f"view {definition.full_name} has no reduce")
         needs_mask = (
             active_vbuckets is not None
             and not self.vbuckets_present <= active_vbuckets
@@ -195,7 +196,7 @@ class ViewIndex:
         """GROUP/GROUP_LEVEL reduce: one reduced row per (truncated) key."""
         definition = self.definition
         if definition.reduce_fn is None:
-            raise ValueError(f"view {definition.full_name} has no reduce")
+            raise ViewQueryError(f"view {definition.full_name} has no reduce")
         groups: list[tuple[Any, list]] = []
         for row in self.scan(params, active_vbuckets):
             group_key = row["key"]

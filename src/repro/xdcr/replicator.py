@@ -26,10 +26,10 @@ from __future__ import annotations
 
 import re
 
-from ..common.errors import NodeDownError, NotMyVBucketError
+from ..common.errors import LivelockError, NodeDownError, NotMyVBucketError
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
-from ..kv.engine import VBucketState
+from ..kv.types import VBucketState
 
 
 class XdcrReplication:
@@ -146,4 +146,4 @@ def settle(*clusters) -> None:
                 progressed = True
         if not progressed:
             return
-    raise RuntimeError("XDCR did not settle (replication ping-pong?)")
+    raise LivelockError("XDCR did not settle (replication ping-pong?)")

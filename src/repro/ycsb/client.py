@@ -11,7 +11,7 @@ the paper prints::
 
 from __future__ import annotations
 
-from ..common.errors import KeyNotFoundError
+from ..common.errors import InvalidArgumentError, KeyNotFoundError
 from .workload import CoreWorkload, Operation
 
 SCAN_QUERY = (
@@ -76,7 +76,7 @@ class YcsbClient:
         elif op.kind == "rmw":
             self._read_modify_write(op.key, op.fields)
         else:
-            raise ValueError(f"unknown operation {op.kind!r}")
+            raise InvalidArgumentError(f"unknown operation {op.kind!r}")
         self.ops_done += 1
 
     def run_one(self) -> Operation:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import random
 
+from ..common.errors import InvalidArgumentError
+
 FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
 FNV_PRIME_64 = 0x100000001B3
 
@@ -138,6 +140,6 @@ def make_request_generator(kind: str, items: int,
         return ScrambledZipfianGenerator(items, seed=seed)
     if kind == "latest":
         if insert_counter is None:
-            raise ValueError("latest distribution needs the insert counter")
+            raise InvalidArgumentError("latest distribution needs the insert counter")
         return LatestGenerator(insert_counter, seed=seed)
-    raise ValueError(f"unknown request distribution {kind!r}")
+    raise InvalidArgumentError(f"unknown request distribution {kind!r}")

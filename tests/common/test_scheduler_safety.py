@@ -1,0 +1,106 @@
+"""Scheduler safety valves and timer semantics.
+
+The livelock valve and timer cancellation are what the pump-contract
+lint rule protects at the source level; these tests pin the runtime
+behavior: a non-quiescing pump set raises :class:`LivelockError`
+instead of hanging, cancelled timers never fire, and pumps run in
+registration order so rounds are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import LivelockError, ReproError
+from repro.common.scheduler import Scheduler
+
+
+def test_run_until_idle_raises_livelock_after_max_rounds(monkeypatch):
+    scheduler = Scheduler()
+    monkeypatch.setattr(Scheduler, "MAX_ROUNDS", 50)
+    scheduler.register("spinner", lambda: True)
+    with pytest.raises(LivelockError, match="livelock"):
+        scheduler.run_until_idle()
+
+
+def test_livelock_error_is_a_runtime_error_and_repro_error(monkeypatch):
+    scheduler = Scheduler()
+    monkeypatch.setattr(Scheduler, "MAX_ROUNDS", 10)
+    scheduler.register("spinner", lambda: True)
+    with pytest.raises(RuntimeError):
+        scheduler.run_until_idle()
+    with pytest.raises(ReproError):
+        scheduler.run_until_idle()
+
+
+def test_livelock_message_names_the_busy_pumps(monkeypatch):
+    scheduler = Scheduler()
+    monkeypatch.setattr(Scheduler, "MAX_ROUNDS", 5)
+    scheduler.register("flusher", lambda: True)
+    with pytest.raises(LivelockError, match="flusher"):
+        scheduler.run_until_idle()
+
+
+def test_run_until_raises_livelock_when_busy_past_budget():
+    scheduler = Scheduler()
+    scheduler.register("spinner", lambda: True)
+    with pytest.raises(LivelockError):
+        scheduler.run_until(lambda: False, max_rounds=10)
+
+
+def test_cancelled_timer_never_fires():
+    scheduler = Scheduler()
+    fired = []
+    handle = scheduler.call_later(5.0, lambda: fired.append("cancelled"))
+    scheduler.call_later(5.0, lambda: fired.append("kept"))
+    scheduler.cancel(handle)
+    scheduler.advance(10.0)
+    assert fired == ["kept"]
+
+
+def test_cancel_updates_pending_timer_accounting():
+    scheduler = Scheduler()
+    first = scheduler.call_later(1.0, lambda: None)
+    scheduler.call_later(2.0, lambda: None)
+    assert scheduler.pending_timers() == 2
+    scheduler.cancel(first)
+    assert scheduler.pending_timers() == 1
+    scheduler.advance(5.0)
+    assert scheduler.pending_timers() == 0
+
+
+def test_timers_fire_in_deadline_order_with_clock_set():
+    scheduler = Scheduler()
+    fired = []
+    scheduler.call_later(3.0, lambda: fired.append(("late", scheduler.clock.now())))
+    scheduler.call_later(1.0, lambda: fired.append(("early", scheduler.clock.now())))
+    scheduler.advance(5.0)
+    assert fired == [("early", 1.0), ("late", 3.0)]
+    assert scheduler.clock.now() == 5.0
+
+
+def test_pumps_run_in_registration_order():
+    scheduler = Scheduler()
+    calls = []
+
+    def make_pump(name):
+        def pump() -> bool:
+            calls.append(name)
+            return False
+        return pump
+
+    for name in ("a", "b", "c"):
+        scheduler.register(name, make_pump(name))
+    scheduler.step()
+    assert calls == ["a", "b", "c"]
+    assert scheduler.pump_names() == ["a", "b", "c"]
+
+
+def test_unregister_removes_pump_from_rounds():
+    scheduler = Scheduler()
+    calls = []
+    scheduler.register("keep", lambda: (calls.append("keep"), False)[1])
+    scheduler.register("drop", lambda: (calls.append("drop"), False)[1])
+    scheduler.unregister("drop")
+    scheduler.step()
+    assert calls == ["keep"]

@@ -1,0 +1,40 @@
+"""Shared test fixtures, including the runtime wall-clock guard.
+
+repro-lint's ``no-wall-clock`` rule catches wall-clock reads statically;
+the autouse fixture below is its runtime counterpart.  It wraps
+``time.time`` and ``time.sleep`` so that any call whose *direct caller*
+is a frame inside ``src/repro`` fails the test immediately -- simulation
+code must go through the injected :class:`~repro.common.clock.Clock`.
+Harness code (tests, benchmarks, pytest internals) passes through to the
+real functions untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import pytest
+
+_REPRO_MARKER = os.path.join("src", "repro") + os.sep
+
+
+def _guarded(real, name: str):
+    def wrapper(*args, **kwargs):
+        caller = sys._getframe(1).f_code.co_filename
+        if _REPRO_MARKER in caller:
+            raise AssertionError(
+                f"time.{name}() called from simulation code "
+                f"({caller}); use the injected Clock "
+                f"(repro.common.clock) instead"
+            )
+        return real(*args, **kwargs)
+
+    return wrapper
+
+
+@pytest.fixture(autouse=True)
+def forbid_wall_clock_in_repro(monkeypatch):
+    monkeypatch.setattr(time, "time", _guarded(time.time, "time"))
+    monkeypatch.setattr(time, "sleep", _guarded(time.sleep, "sleep"))

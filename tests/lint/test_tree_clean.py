@@ -1,0 +1,25 @@
+"""The tree itself must lint clean -- this is the tier-1 gate that keeps
+the invariants true going forward, mirroring the CI ``repro-lint`` step."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _format(violations):
+    return "\n".join(v.format() for v in violations)
+
+
+def test_repro_package_is_strictly_clean():
+    violations = lint_paths([REPO_ROOT / "src" / "repro"], profile="strict")
+    assert violations == [], _format(violations)
+
+
+def test_harness_code_is_clean_under_relaxed_profile():
+    paths = [REPO_ROOT / "examples", REPO_ROOT / "benchmarks"]
+    violations = lint_paths(paths, profile="relaxed")
+    assert violations == [], _format(violations)
