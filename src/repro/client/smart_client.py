@@ -37,6 +37,9 @@ from ..common.transport import Network
 from ..kv.types import MutationResult
 from ..replication.durability import DurabilityMonitor, DurabilityRequirement
 
+#: Process-wide client-id source: ids stay unique across clusters in
+#: one test process.
+__shared_state__ = ("_client_ids",)
 _client_ids = itertools.count(1)
 
 

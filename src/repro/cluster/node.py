@@ -213,6 +213,13 @@ class Node:
                             doc: Document) -> None:
         self.engine(bucket).apply_replicated(vbucket_id, doc)
 
+    def kv_set_with_meta(self, bucket: str, vbucket_id: int,
+                         doc: Document) -> bool:
+        """XDCR inbound: apply a remote-cluster mutation after conflict
+        resolution.  Routed through the fabric so a down or partitioned
+        target node rejects pushes like any other RPC."""
+        return self.engine(bucket).set_with_meta(vbucket_id, doc)
+
     def kv_vbucket_high_seqno(self, bucket: str, vbucket_id: int) -> int:
         vb = self.engine(bucket).vbuckets.get(vbucket_id)
         return vb.high_seqno if vb is not None else 0

@@ -28,6 +28,14 @@ class LivelockError(ReproError, RuntimeError):
     :class:`RuntimeError` for pre-taxonomy callers."""
 
 
+class SchedulerReentrancyError(ReproError, RuntimeError):
+    """A pump body re-entered the scheduler drive loop (``step`` /
+    ``run_until_idle`` / ``run_until`` / ``advance``).  Pumps must do one
+    bounded slice of work and return; re-entering the loop from inside a
+    pump nests rounds and silently serialises the very interleavings the
+    sanitizer explores."""
+
+
 # ---------------------------------------------------------------------------
 # Key-value (memcached-style) protocol errors -- section 3.1.1 of the paper.
 # ---------------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Process-wide hook points for the write-race tracker.
+
+The sanitizer (``repro.sanitize``) needs to know, at every mutation of a
+shared structure, *which pump* is executing and whether the mutation
+arrived through a declared mediation point (an RPC dispatched by
+:class:`repro.common.transport.Network`).  Threading a tracker object
+through every engine constructor would churn dozens of call sites for a
+diagnostic concern, so instead the instrumented choke points call the
+module-level :func:`record_write` / :func:`record_take`, which are no-ops
+unless a tracker has been installed for the current run.
+
+Exactly one tracker can be installed at a time; the sanitizer installs a
+fresh one per scenario run and uninstalls it afterwards, so normal test
+and harness runs pay only a ``None`` check per choke point.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+#: Registered mutable module state (see the declared-shared-state lint
+#: rule): the single process-wide tracker slot.
+__shared_state__ = ("_tracker",)
+
+_tracker = None
+
+
+class Tracker(Protocol):
+    def enter_pump(self, name: str) -> None: ...
+    def exit_pump(self) -> None: ...
+    def enter_mediated(self) -> None: ...
+    def exit_mediated(self) -> None: ...
+    def record_write(self, tag: str) -> None: ...
+    def record_take(self, stream_id: str) -> None: ...
+
+
+def install(tracker) -> object | None:
+    """Install ``tracker`` as the process-wide tracker; returns the
+    previously installed one (normally ``None``) so callers can restore it."""
+    global _tracker
+    previous = _tracker
+    _tracker = tracker
+    return previous
+
+
+def uninstall() -> None:
+    global _tracker
+    _tracker = None
+
+
+def current():
+    """The installed tracker, or ``None`` outside sanitized runs."""
+    return _tracker
+
+
+def record_write(tag: str) -> None:
+    """Report a mutation of the shared structure identified by ``tag``
+    (e.g. ``kv/node1/default`` for a KV engine, ``views/node1/default``
+    for a view index).  No-op unless a tracker is installed."""
+    if _tracker is not None:
+        _tracker.record_write(tag)
+
+
+def record_take(stream_id: str) -> None:
+    """Report a consumer draining the queue/stream ``stream_id``.  The
+    first pump to take from a stream claims it; a different pump taking
+    later is a queue-theft violation.  No-op unless a tracker is installed."""
+    if _tracker is not None:
+        _tracker.record_take(stream_id)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any
 
+from . import tracing
 from .errors import InvalidArgumentError, NodeDownError
 
 
@@ -100,7 +101,17 @@ class Network:
             raise NodeDownError(dst)
         self.calls[(dst, method)] += 1
         self.latency_charged += self.default_latency
-        return getattr(self._endpoints[dst], method)(*args, **kwargs)
+        # An RPC is a *declared* hand-off point: whatever the endpoint
+        # mutates while serving it was mediated by the fabric, which the
+        # write-race tracker treats as legitimate cross-pump communication.
+        tracker = tracing.current()
+        if tracker is None:
+            return getattr(self._endpoints[dst], method)(*args, **kwargs)
+        tracker.enter_mediated()
+        try:
+            return getattr(self._endpoints[dst], method)(*args, **kwargs)
+        finally:
+            tracker.exit_mediated()
 
     def reset_counters(self) -> None:
         self.calls.clear()

@@ -18,8 +18,10 @@ machinery, surfaced through DCP).
 
 from __future__ import annotations
 
+import itertools
 import math
 
+from ..common import tracing
 from ..common.errors import StreamRollbackRequired
 from ..kv.engine import KVEngine, VBucket
 from ..kv.types import VBucketState
@@ -37,6 +39,13 @@ class DcpStream:
         self.end_seqno = end_seqno
         self.closed = False
         self._pending: list[DcpMessage] = []
+        #: Stable per-run identity for the write-race tracker: the first
+        #: pump to take() from this stream owns it; anyone else taking
+        #: from the same stream is stealing a peer's queue.
+        self.stream_id = (
+            f"dcp/{producer.engine.node_name}/{producer.engine.bucket_name}"
+            f"/vb{vb.id}#{next(producer._stream_seq)}"
+        )
 
     @property
     def vbucket_id(self) -> int:
@@ -55,6 +64,7 @@ class DcpStream:
         Returns an empty list when there is nothing new; an unbounded
         stream never ends, a bounded one emits :class:`StreamEnd` when it
         passes ``end_seqno``."""
+        tracing.record_take(self.stream_id)
         if self.closed:
             return []
         out: list[DcpMessage] = []
@@ -141,6 +151,7 @@ class DcpProducer:
     def __init__(self, engine: KVEngine, name: str = "dcp"):
         self.engine = engine
         self.name = name
+        self._stream_seq = itertools.count(1)
 
     def stream_request(
         self,

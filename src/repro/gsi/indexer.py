@@ -16,6 +16,7 @@ updated up to the maximum sequence number for each vBucket").
 from __future__ import annotations
 
 
+from ..common import tracing
 from ..common.disk import SimulatedDisk
 from ..common.errors import IndexExistsError, IndexNotFoundError
 from .indexdef import IndexDefinition
@@ -29,6 +30,7 @@ class IndexInstance:
     def __init__(self, definition: IndexDefinition, disk: SimulatedDisk,
                  node_name: str):
         self.definition = definition
+        self.node_name = node_name
         filename = f"gsi/{definition.bucket}/{definition.name}.index"
         self.storage = make_storage(definition.storage, disk, filename)
         #: vbucket -> highest seqno applied (or acknowledged via an empty
@@ -37,6 +39,7 @@ class IndexInstance:
         self.items_applied = 0
 
     def apply(self, kv: KeyVersion) -> None:
+        tracing.record_write(f"gsi/{self.node_name}/{self.definition.name}")
         self.storage.update_doc(kv.doc_id, kv.entries)
         current = self.watermarks.get(kv.vbucket_id, 0)
         if kv.seqno > current:

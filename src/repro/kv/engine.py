@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterator
 
+from ..common import tracing
 from ..common.clock import Clock, VirtualClock
 from ..common.disk import SimulatedDisk
 from ..common.document import Document, DocumentMeta
@@ -37,6 +38,10 @@ from ..common.jsonval import JsonValue, deep_copy, sizeof, validate_json_value
 from ..common.metrics import MetricsRegistry
 from .hashtable import HashTable
 from .types import MutationResult, ObserveResult, VBucketState
+
+#: Registered mutable module state (declared-shared-state lint rule):
+#: monotonic vBucket-UUID source shared by every engine in the process.
+__shared_state__ = ("_vb_uuid_counter",)
 
 _vb_uuid_counter = itertools.count(1000)
 
@@ -229,6 +234,7 @@ class KVEngine:
     def _apply_mutation(self, vb: VBucket, doc: Document) -> None:
         """Common tail of every active-side write: cache it, queue it for
         disk, buffer it for DCP, notify listeners."""
+        tracing.record_write(f"kv/{self.node_name}/{self.bucket_name}")
         self._ensure_quota_headroom(doc)
         entry = vb.hashtable.set(doc, dirty=True)
         entry.locked_until = 0.0  # any successful mutation releases the lock
@@ -552,6 +558,7 @@ class KVEngine:
         vb = self.vbuckets.get(vbucket_id)
         if vb is None or vb.state is VBucketState.ACTIVE:
             raise NotMyVBucketError(vbucket_id, self.node_name)
+        tracing.record_write(f"kv/{self.node_name}/{self.bucket_name}")
         copy = doc.copy()
         vb.hashtable.set(copy, dirty=True)
         vb.dirty_queue.append(copy.key)
@@ -588,6 +595,7 @@ class KVEngine:
                     continue  # already persisted (that's how it got ejected)
                 docs.append(doc.copy())
             if docs:
+                tracing.record_write(f"kv/{self.node_name}/{self.bucket_name}")
                 vb.store.save_docs(docs)
                 vb.store.write_header(sync=True)
                 for doc in docs:
@@ -614,6 +622,7 @@ class KVEngine:
                 continue  # let the flusher drain first
             if not compactor.needs_compaction(vb.store):
                 continue
+            tracing.record_write(f"kv/{self.node_name}/{self.bucket_name}")
             vb.store = compactor.compact(vb.store)
             self.metrics.inc("kv.compactions")
             return True

@@ -19,6 +19,7 @@ from .engine import (
     lint_file,
     profile_for,
 )
+from .output import FORMATS, format_violation
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +41,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select", metavar="RULE[,RULE...]", default=None,
         help="run only these rules",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="output_format",
+        help="text (default) prints path:line:col lines; github emits "
+             "::error workflow commands that become inline PR annotations",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -76,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
     for violation in violations:
-        print(violation.format())
+        print(format_violation(violation, args.output_format))
     if not args.quiet:
         print(
             f"repro-lint: {len(violations)} violation"

@@ -7,9 +7,11 @@ here and importing it below.
 
 from . import (  # noqa: F401
     cross_service,
+    declared_shared_state,
     error_taxonomy,
     metrics_naming,
     missing_null,
+    no_pump_reentrancy,
     no_unseeded_random,
     no_wall_clock,
     pump_contract,

@@ -66,6 +66,7 @@ COMPILE_ENABLED = True
 
 #: Total top-level compilations performed (mirrored into the per-node
 #: ``n1ql.compile.count`` counter by the callers that have a registry).
+__shared_state__ = ("COMPILE_COUNT",)
 COMPILE_COUNT = 0
 
 Compiled = Callable[[Any, Any], Any]

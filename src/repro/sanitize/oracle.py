@@ -1,0 +1,196 @@
+"""The divergence oracle: replay a scenario under many schedules.
+
+For each scenario the oracle builds a deterministic policy matrix from
+``--seeds N`` (the registration-order baseline, N seeded shuffles, and a
+smaller band of adversarial starve-one and weighted policies), runs the
+scenario once per policy with a fresh :class:`WriteRaceTracker`
+installed, digests the converged state, and compares:
+
+* every digest equal -> the scenario's converged state is schedule
+  independent (the property the paper's asynchronous-everything design
+  relies on);
+* any two digests differ -> a race.  The report carries the two
+  disagreeing policies, the first round at which their executed
+  schedules diverged (the minimal prefix that separates them), and the
+  dotted state paths that disagree.
+
+Write-race findings are collected independently of divergence: an
+unmediated write can be deterministic today (and therefore invisible to
+the digest comparison) and still be the seed of tomorrow's race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common import tracing
+from ..common.scheduler import (
+    RegistrationOrder,
+    SchedulePolicy,
+    SeededShuffle,
+    StarveOne,
+    Weighted,
+)
+from .digest import diff_paths, state_digest
+from .tracker import RaceFinding, WriteRaceTracker
+
+#: Weighted-policy bias: drain order stresses the slow-consumer paths
+#: (indexes and XDCR lag behind the flusher and replicator).
+DEFAULT_WEIGHTS = {
+    "flusher": 3.0,
+    "replicator": 2.0,
+    "views": 0.5,
+    "projector": 0.5,
+    "xdcr": 0.25,
+}
+
+
+def policy_matrix(seeds: int) -> list[SchedulePolicy]:
+    """The deterministic set of policies explored for ``--seeds N``."""
+    adversarial = max(1, seeds // 5)
+    policies: list[SchedulePolicy] = [RegistrationOrder()]
+    policies.extend(SeededShuffle(seed) for seed in range(1, seeds + 1))
+    policies.extend(StarveOne(seed) for seed in range(1, adversarial + 1))
+    policies.extend(
+        Weighted(seed, DEFAULT_WEIGHTS) for seed in range(1, adversarial + 1)
+    )
+    return policies
+
+
+@dataclass
+class RunRecord:
+    """One scenario execution under one policy."""
+
+    policy: str
+    digest: str
+    state: dict
+    #: scheduler name -> executed pump order per round.
+    traces: dict[str, list[list[str]]]
+    races: list[RaceFinding]
+
+
+@dataclass
+class Divergence:
+    """Two runs of the same scenario that converged to different state."""
+
+    scenario: str
+    policy_a: str
+    policy_b: str
+    state_diffs: list[str]
+    first_divergent_round: int | None
+    schedule_a: list[str]
+    schedule_b: list[str]
+
+    def format(self) -> str:
+        lines = [
+            f"schedule-dependent state in scenario {self.scenario!r}:",
+            f"  policy A: {self.policy_a}",
+            f"  policy B: {self.policy_b}",
+        ]
+        if self.first_divergent_round is not None:
+            lines.append(
+                f"  schedules first diverge at round {self.first_divergent_round}:"
+            )
+            lines.append(f"    A ran {self.schedule_a}")
+            lines.append(f"    B ran {self.schedule_b}")
+        lines.append("  state differences:")
+        lines.extend(f"    {path}" for path in self.state_diffs)
+        return "\n".join(lines)
+
+
+@dataclass
+class ScenarioReport:
+    """Everything the oracle learned about one scenario."""
+
+    scenario: str
+    runs: list[RunRecord]
+    divergences: list[Divergence] = field(default_factory=list)
+    races: list[RaceFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences and not self.races
+
+    def findings_count(self) -> int:
+        return len(self.divergences) + len(self.races)
+
+
+def _first_divergent_round(
+    traces_a: dict[str, list[list[str]]],
+    traces_b: dict[str, list[list[str]]],
+) -> tuple[int | None, list[str], list[str]]:
+    """Earliest round index at which the two runs executed different
+    orders (searching every scheduler the scenario drove)."""
+    best: tuple[int, list[str], list[str]] | None = None
+    for name in sorted(set(traces_a) | set(traces_b)):
+        rounds_a = traces_a.get(name, [])
+        rounds_b = traces_b.get(name, [])
+        for index in range(max(len(rounds_a), len(rounds_b))):
+            round_a = rounds_a[index] if index < len(rounds_a) else []
+            round_b = rounds_b[index] if index < len(rounds_b) else []
+            if round_a != round_b:
+                qualify = [f"{name}:{pump}" for pump in round_a]
+                qualify_b = [f"{name}:{pump}" for pump in round_b]
+                if best is None or index < best[0]:
+                    best = (index, qualify, qualify_b)
+                break
+    if best is None:
+        return None, [], []
+    return best
+
+
+def run_scenario(scenario, policy: SchedulePolicy) -> RunRecord:
+    """Execute ``scenario`` once under ``policy`` with tracking on."""
+    tracker = WriteRaceTracker()
+    previous = tracing.install(tracker)
+    try:
+        outcome = scenario.run(policy)
+    finally:
+        tracing.install(previous)
+    digest, state = state_digest(outcome.clusters, outcome.observations)
+    traces = {
+        name: list(scheduler.trace or [])
+        for name, scheduler in outcome.schedulers.items()
+    }
+    return RunRecord(
+        policy=policy.describe(),
+        digest=digest,
+        state=state,
+        traces=traces,
+        races=list(tracker.findings),
+    )
+
+
+def explore(scenario, seeds: int) -> ScenarioReport:
+    """Run ``scenario`` under the full policy matrix and compare."""
+    runs = [run_scenario(scenario, policy) for policy in policy_matrix(seeds)]
+    report = ScenarioReport(scenario=scenario.name, runs=runs)
+
+    seen_races: set[tuple[str, str, str]] = set()
+    for run in runs:
+        for race in run.races:
+            key = (race.kind, race.pump, race.target)
+            if key not in seen_races:
+                seen_races.add(key)
+                report.races.append(race)
+
+    by_digest: dict[str, RunRecord] = {}
+    for run in runs:
+        by_digest.setdefault(run.digest, run)
+    if len(by_digest) > 1:
+        representatives = list(by_digest.values())
+        baseline = representatives[0]
+        for other in representatives[1:]:
+            round_index, schedule_a, schedule_b = _first_divergent_round(
+                baseline.traces, other.traces
+            )
+            report.divergences.append(Divergence(
+                scenario=scenario.name,
+                policy_a=baseline.policy,
+                policy_b=other.policy,
+                state_diffs=diff_paths(baseline.state, other.state),
+                first_divergent_round=round_index,
+                schedule_a=schedule_a,
+                schedule_b=schedule_b,
+            ))
+    return report

@@ -1,0 +1,268 @@
+"""Built-in sanitizer scenarios.
+
+Each scenario is a small, fast end-to-end workload whose converged state
+must be schedule independent.  A scenario builds its clusters with the
+policy under test installed *before* any pump registrations matter, runs
+a workload with explicit settle points, and returns the clusters plus
+its own observations (query results, durability acks) for digesting.
+
+Scenarios keep clusters tiny (2-3 nodes, 4-8 vBuckets, tens of docs):
+the oracle runs each one dozens of times, and interleaving bugs are a
+property of orderings, not of scale.
+
+Multi-cluster scenarios give every node a globally unique name so the
+write-race tracker's ownership tags (``kv/<node>/<bucket>``) never
+collide across clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..common.errors import InvalidArgumentError, KeyNotFoundError
+from ..common.scheduler import SchedulePolicy
+from ..gsi.indexdef import IndexDefinition, path_extractor
+from ..server import Cluster
+from ..views.mapreduce import ViewDefinition
+from ..xdcr.replicator import XdcrReplication, settle
+
+
+@dataclass
+class RunOutcome:
+    """What one scenario execution hands back to the oracle."""
+
+    #: ``[(name, Cluster), ...]`` -- digested in order.
+    clusters: list
+    #: scheduler name -> Scheduler, for schedule traces.
+    schedulers: dict
+    #: Scenario-level observations folded into the digest (query rows,
+    #: durability acks, converged reads).
+    observations: dict
+
+
+@dataclass
+class Scenario:
+    """A named workload the oracle can replay under many policies."""
+
+    name: str
+    description: str
+    run: Callable[[SchedulePolicy], RunOutcome]
+    #: True for deliberately broken fixtures that detectors must catch.
+    expect_findings: bool = False
+
+
+def sanitized_cluster(name: str, policy: SchedulePolicy, *,
+                      nodes, vbuckets: int,
+                      auto_failover: bool = True) -> Cluster:
+    """A Cluster wired for sanitized runs: named scheduler (so pump
+    names are cluster-qualified in reports), policy installed, and
+    schedule tracing on -- all before any bucket pumps register."""
+    cluster = Cluster(nodes=nodes, vbuckets=vbuckets,
+                      auto_failover=auto_failover)
+    cluster.scheduler.name = name
+    cluster.scheduler.policy = policy
+    cluster.scheduler.trace = []
+    return cluster
+
+
+def _outcome(*named_clusters, observations: dict) -> RunOutcome:
+    return RunOutcome(
+        clusters=list(named_clusters),
+        schedulers={name: c.scheduler for name, c in named_clusters},
+        observations=observations,
+    )
+
+
+_ALL = ("data", "index", "query")
+
+
+# -- kv-durability ---------------------------------------------------------------
+
+
+def _run_kv_durability(policy: SchedulePolicy) -> RunOutcome:
+    """Durable writes and deletes: every ack must hold once quiesced,
+    under any pump order."""
+    cluster = sanitized_cluster(
+        "kv", policy, vbuckets=8,
+        nodes=[("kv1", _ALL), ("kv2", _ALL), ("kv3", _ALL)],
+    )
+    cluster.create_bucket("b", replicas=1)
+    client = cluster.connect()
+    acks: dict[str, str] = {}
+    for i in range(12):
+        client.upsert("b", f"k{i}", {"i": i}, replicate_to=1, persist_to=1)
+        acks[f"k{i}"] = "write-durable"
+    for i in range(0, 12, 3):
+        client.remove("b", f"k{i}", persist_to=1)
+        acks[f"k{i}"] = "delete-durable"
+    cluster.run_until_idle()
+    observed: dict[str, list] = {}
+    cluster_map = cluster.manager.cluster_maps["b"]
+    for key in sorted(acks):
+        vbucket_id = cluster_map.vbucket_for_key(key)
+        probes = []
+        for node_name in cluster_map.chains[vbucket_id]:
+            if node_name is None:
+                continue
+            result = cluster.network.call(
+                "sanitize-probe", node_name, "kv_observe", "b", vbucket_id, key
+            )
+            probes.append([node_name, result.exists, result.persisted])
+        observed[key] = probes
+    return _outcome(("kv", cluster),
+                    observations={"acks": acks, "observe": observed})
+
+
+# -- failover-replica-promote -----------------------------------------------------
+
+
+def _run_failover(policy: SchedulePolicy) -> RunOutcome:
+    """Auto-failover promotes replicas; post-failover state must not
+    depend on pump order.  The workload settles before the crash: data
+    still in flight at crash time is *legitimately* schedule dependent."""
+    cluster = sanitized_cluster(
+        "fo", policy, vbuckets=8,
+        nodes=[("fo1", _ALL), ("fo2", _ALL), ("fo3", _ALL)],
+    )
+    cluster.create_bucket("b", replicas=1)
+    client = cluster.connect()
+    for i in range(12):
+        client.upsert("b", f"k{i}", {"i": i})
+    cluster.run_until_idle()
+    cluster.crash_node("fo3")
+    cluster.tick(31.0)  # past AUTO_FAILOVER_TIMEOUT: replicas promote
+    for i in range(12, 18):
+        client.upsert("b", f"k{i}", {"i": i})
+    cluster.run_until_idle()
+    reads = {}
+    for i in range(18):
+        reads[f"k{i}"] = client.get("b", f"k{i}").value
+    return _outcome(("fo", cluster), observations={"reads": reads})
+
+
+# -- views-gsi-index --------------------------------------------------------------
+
+
+def _run_views_gsi(policy: SchedulePolicy) -> RunOutcome:
+    """View and GSI maintenance are DCP consumers racing the flusher and
+    each other; index contents after quiescence must be identical."""
+    cluster = sanitized_cluster(
+        "ix", policy, vbuckets=8, nodes=[("ix1", _ALL), ("ix2", _ALL)],
+    )
+    cluster.create_bucket("b", replicas=1)
+
+    def by_group(doc, meta, emit):
+        if "g" in doc:
+            emit(doc["g"], doc.get("i"))
+
+    cluster.define_view("b", ViewDefinition("dd", "by_g", by_group))
+    cluster.create_index(IndexDefinition(
+        "by_i", "b", ["i"], [path_extractor("i")],
+    ))
+    client = cluster.connect()
+    for i in range(20):
+        client.upsert("b", f"k{i}", {"i": i, "g": i % 4})
+    for i in range(0, 20, 5):
+        client.remove("b", f"k{i}")
+    for i in range(1, 20, 5):
+        client.upsert("b", f"k{i}", {"i": i + 100, "g": i % 4})
+    cluster.run_until_idle()
+    view_rows = cluster.views.query("b", "dd", "by_g", stale="false").rows
+    gsi_rows = cluster.gsi.scan("by_i", consistency="request_plus")
+    return _outcome(("ix", cluster), observations={
+        "view": [[row["key"], row["value"], row["id"]] for row in view_rows],
+        "gsi": [[key, doc_id] for key, doc_id in gsi_rows],
+    })
+
+
+# -- xdcr-bidirectional -----------------------------------------------------------
+
+
+def _run_xdcr(policy: SchedulePolicy) -> RunOutcome:
+    """Bidirectional XDCR with conflicting writers: both clusters must
+    converge on the same winners whatever order the pumps ran in."""
+    east = sanitized_cluster(
+        "east", policy, vbuckets=8, nodes=[("e1", _ALL), ("e2", _ALL)],
+    )
+    west = sanitized_cluster(
+        "west", policy, vbuckets=4,
+        nodes=[("w1", _ALL), ("w2", _ALL), ("w3", _ALL)],
+    )
+    east.create_bucket("b", replicas=1)
+    west.create_bucket("b", replicas=1)
+    XdcrReplication(east, west, "b")
+    XdcrReplication(west, east, "b")
+    ce, cw = east.connect(), west.connect()
+    for i in range(10):
+        ce.upsert("b", f"k{i}", {"side": "east", "i": i})
+    for i in range(10):
+        # Conflicting writers: higher rev (two updates) must win on both
+        # sides for even keys; east's single write wins ties... never --
+        # deterministic resolution picks the same winner everywhere.
+        cw.upsert("b", f"k{i}", {"side": "west", "i": i})
+        if i % 2 == 0:
+            cw.upsert("b", f"k{i}", {"side": "west", "i": i, "again": True})
+    ce.remove("b", "k9")
+    settle(east, west)
+    converged = {}
+    for i in range(10):
+        key = f"k{i}"
+        try:
+            east_value = ce.get("b", key).value
+        except KeyNotFoundError:
+            east_value = "<deleted>"
+        try:
+            west_value = cw.get("b", key).value
+        except KeyNotFoundError:
+            west_value = "<deleted>"
+        converged[key] = [east_value, west_value]
+    return _outcome(("east", east), ("west", west),
+                    observations={"converged": converged})
+
+
+def builtin_scenarios() -> list[Scenario]:
+    return [
+        Scenario(
+            "kv-durability",
+            "durable writes/deletes: acks and observe() hold under any order",
+            _run_kv_durability,
+        ),
+        Scenario(
+            "failover-replica-promote",
+            "auto-failover replica promotion is schedule independent",
+            _run_failover,
+        ),
+        Scenario(
+            "views-gsi-index",
+            "view and GSI contents converge identically under any order",
+            _run_views_gsi,
+        ),
+        Scenario(
+            "xdcr-bidirectional",
+            "bidirectional XDCR conflict resolution converges identically",
+            _run_xdcr,
+        ),
+    ]
+
+
+def scenario_registry(include_fixtures: bool = False) -> dict[str, Scenario]:
+    from .fixtures import fixture_scenarios
+    scenarios = list(builtin_scenarios())
+    if include_fixtures:
+        scenarios.extend(fixture_scenarios())
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+def get_scenarios(names: list[str] | None,
+                  include_fixtures: bool = False) -> list[Scenario]:
+    registry = scenario_registry(include_fixtures=True)
+    if names is None:
+        return [s for s in scenario_registry(include_fixtures).values()]
+    missing = [name for name in names if name not in registry]
+    if missing:
+        known = ", ".join(sorted(registry))
+        raise InvalidArgumentError(
+            f"unknown scenario(s) {', '.join(missing)}; known: {known}"
+        )
+    return [registry[name] for name in names]

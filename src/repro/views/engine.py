@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..common import tracing
 from ..common.errors import ViewExistsError
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
@@ -56,6 +57,7 @@ class ViewEngine:
             f"views/{self.bucket}/{definition.design}_{definition.name}.view"
         )
         index = ViewIndex(definition, self.node.disk, filename)
+        tracing.record_write(f"views/{self.node.name}/{self.bucket}")
         engine = self.engine
         for vbucket_id in engine.owned_vbuckets(VBucketState.ACTIVE):
             for doc in engine.docs_in_vbucket(vbucket_id):
@@ -121,6 +123,7 @@ class ViewEngine:
             )
 
     def _apply(self, vbucket_id: int, doc, deleted: bool) -> None:
+        tracing.record_write(f"views/{self.node.name}/{self.bucket}")
         for index in self.indexes.values():
             if deleted:
                 index.remove_doc(doc.key)

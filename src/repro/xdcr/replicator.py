@@ -26,7 +26,12 @@ from __future__ import annotations
 
 import re
 
-from ..common.errors import LivelockError, NodeDownError, NotMyVBucketError
+from ..common.errors import (
+    BucketNotFoundError,
+    LivelockError,
+    NodeDownError,
+    NotMyVBucketError,
+)
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
 from ..kv.types import VBucketState
@@ -75,6 +80,17 @@ class XdcrReplication:
                     continue
                 if self._push(message.doc):
                     moved = True
+                else:
+                    # Delivery failed (target down, partitioned, or
+                    # repartitioned mid-stream).  The stream already
+                    # consumed this mutation, so silently continuing
+                    # would drop it forever: drop the stream instead --
+                    # _sync_streams reopens it from seqno 0 and conflict
+                    # resolution dedups the replayed prefix.  Not counted
+                    # as progress, so a persistently unreachable target
+                    # still lets the scheduler quiesce.
+                    del self._streams[(node_name, vbucket_id)]
+                    break
         return moved
 
     def _sync_streams(self) -> None:
@@ -108,7 +124,12 @@ class XdcrReplication:
 
     def _push(self, doc) -> bool:
         """Route one document to the target cluster's active node for the
-        key (the *target's* partitioning, section 4.6: topology aware)."""
+        key (the *target's* partitioning, section 4.6: topology aware).
+
+        Delivery goes through the target cluster's network fabric -- not
+        straight into the engine -- so a down or partitioned target node
+        rejects the push the way it rejects any RPC.  Returns False when
+        the document could not be delivered."""
         target_map = self.target.manager.cluster_maps.get(self.target_bucket)
         if target_map is None:
             return False
@@ -117,11 +138,11 @@ class XdcrReplication:
         if node_name is None:
             return False
         try:
-            engine = self.target.manager.nodes[node_name].engines[
-                self.target_bucket
-            ]
-            applied = engine.set_with_meta(vbucket_id, doc)
-        except (NodeDownError, NotMyVBucketError, KeyError):
+            self.target.network.call(
+                self.name, node_name, "kv_set_with_meta",
+                self.target_bucket, vbucket_id, doc,
+            )
+        except (NodeDownError, NotMyVBucketError, BucketNotFoundError):
             return False
         self.docs_sent += 1
         return True

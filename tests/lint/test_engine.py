@@ -140,7 +140,7 @@ def test_select_limits_to_named_rules():
     assert {v.rule for v in violations} == {"no-wall-clock"}
 
 
-def test_registry_has_the_seven_rules():
+def test_registry_has_the_nine_rules():
     names = {rule.name for rule in all_rules()}
     assert names == {
         "no-wall-clock",
@@ -150,6 +150,8 @@ def test_registry_has_the_seven_rules():
         "pump-contract",
         "metrics-naming",
         "missing-null-discipline",
+        "no-pump-reentrancy",
+        "declared-shared-state",
     }
     assert all(rule.invariant for rule in all_rules())
 

@@ -296,3 +296,125 @@ def test_eq_none_outside_n1ql_is_ignored():
             return row == None  # noqa: E711
     """, module="repro.kv.fixture")
     assert violations == []
+
+
+# -- no-pump-reentrancy -----------------------------------------------------
+
+
+def test_pump_calling_run_until_idle_fires():
+    violations = run("""
+        class Flusher:
+            def pump(self) -> bool:
+                self.node.scheduler.run_until_idle()
+                return True
+    """, select=["no-pump-reentrancy"])
+    assert rule_names(violations) == ["no-pump-reentrancy"]
+
+
+def test_pump_calling_step_or_advance_fires():
+    violations = run("""
+        def _pump() -> bool:
+            scheduler.step()
+            clock_owner.advance(1.0)
+            return False
+    """, select=["no-pump-reentrancy"])
+    assert len(violations) == 2
+    assert rule_names(violations) == ["no-pump-reentrancy"]
+
+
+def test_pump_draining_its_queue_is_clean():
+    violations = run("""
+        class Views:
+            def pump(self) -> bool:
+                for message in self.stream.take(64):
+                    self.apply(message)
+                return True
+    """, select=["no-pump-reentrancy"])
+    assert violations == []
+
+
+def test_drive_calls_outside_pumps_are_fine():
+    violations = run("""
+        def settle(cluster):
+            cluster.scheduler.run_until_idle()
+    """, select=["no-pump-reentrancy"])
+    assert violations == []
+
+
+# -- declared-shared-state --------------------------------------------------
+
+
+def test_undeclared_module_counter_fires():
+    violations = run("""
+        import itertools
+
+        _ids = itertools.count(1)
+    """, select=["declared-shared-state"])
+    assert rule_names(violations) == ["declared-shared-state"]
+
+
+def test_declared_module_counter_is_clean():
+    violations = run("""
+        import itertools
+
+        __shared_state__ = ("_ids",)
+        _ids = itertools.count(1)
+    """, select=["declared-shared-state"])
+    assert violations == []
+
+
+def test_undeclared_global_statement_fires():
+    violations = run("""
+        TOTAL = 0
+
+        def bump():
+            global TOTAL
+            TOTAL += 1
+    """, select=["declared-shared-state"])
+    assert rule_names(violations) == ["declared-shared-state"]
+
+
+def test_declared_global_statement_is_clean():
+    violations = run("""
+        __shared_state__ = ("TOTAL",)
+        TOTAL = 0
+
+        def bump():
+            global TOTAL
+            TOTAL += 1
+    """, select=["declared-shared-state"])
+    assert violations == []
+
+
+def test_lowercase_mutable_display_fires():
+    violations = run("""
+        _registry = {}
+    """, select=["declared-shared-state"])
+    assert rule_names(violations) == ["declared-shared-state"]
+
+
+def test_constant_case_display_is_treated_as_frozen():
+    violations = run("""
+        KNOWN_KINDS = ["kv", "views", "gsi"]
+        _TABLE = {"a": 1}
+    """, select=["declared-shared-state"])
+    assert violations == []
+
+
+def test_function_local_state_is_not_module_state():
+    violations = run("""
+        import itertools
+
+        def make():
+            ids = itertools.count(1)
+            seen = {}
+            return ids, seen
+    """, select=["declared-shared-state"])
+    assert violations == []
+
+
+def test_suppression_comment_still_works():
+    violations = run("""
+        _cache = {}  # repro-lint: disable=declared-shared-state
+    """, select=["declared-shared-state"])
+    assert violations == []

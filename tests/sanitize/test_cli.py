@@ -1,0 +1,72 @@
+"""CLI exit contract (0 clean / 1 findings / 2 usage) and output formats."""
+
+from __future__ import annotations
+
+from repro.sanitize.cli import SEEDS_ENV, main
+
+
+def test_clean_scenario_exits_zero(capsys):
+    assert main(["--seeds", "2", "--scenario", "kv-durability"]) == 0
+    out = capsys.readouterr().out
+    assert "kv-durability" in out
+    assert "clean" in out
+
+
+def test_fixtures_exit_one(capsys):
+    assert main(["--seeds", "4", "--fixtures"]) == 1
+    out = capsys.readouterr().out
+    assert "unmediated-write" in out
+    assert "queue-theft" in out
+    assert "schedule-dependent state" in out
+
+
+def test_list_scenarios_exits_zero(capsys):
+    assert main(["--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "kv-durability" in out
+    assert "[fixture]" in out
+
+
+def test_unknown_scenario_exits_two(capsys):
+    assert main(["--scenario", "no-such-thing"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_bad_seed_count_exits_two(capsys):
+    assert main(["--seeds", "0"]) == 2
+    assert "--seeds" in capsys.readouterr().err
+
+
+def test_fixtures_and_scenario_are_mutually_exclusive(capsys):
+    assert main(["--fixtures", "--scenario", "kv-durability"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_seeds_env_override(monkeypatch, capsys):
+    monkeypatch.setenv(SEEDS_ENV, "2")
+    assert main(["--scenario", "kv-durability"]) == 0
+    assert "--seeds 2" in capsys.readouterr().out
+
+
+def test_seeds_env_rejects_garbage(monkeypatch, capsys):
+    monkeypatch.setenv(SEEDS_ENV, "lots")
+    assert main(["--scenario", "kv-durability"]) == 2
+    assert SEEDS_ENV in capsys.readouterr().err
+
+
+def test_explicit_seeds_flag_beats_env(monkeypatch, capsys):
+    monkeypatch.setenv(SEEDS_ENV, "lots")  # would be an error if consulted
+    assert main(["--seeds", "2", "--scenario", "kv-durability"]) == 0
+
+
+def test_github_format_emits_error_annotations(capsys):
+    assert main(["--seeds", "4", "--fixtures", "--format", "github",
+                 "-q"]) == 1
+    out = capsys.readouterr().out
+    assert "::error title=repro-sanitize" in out
+    assert "%0A" in out  # multi-line divergence reports stay one line
+
+
+def test_quiet_suppresses_progress_lines(capsys):
+    assert main(["--seeds", "2", "--scenario", "kv-durability", "-q"]) == 0
+    assert capsys.readouterr().out == ""

@@ -1,0 +1,47 @@
+"""Digest canonicalization and structural diff unit tests."""
+
+from __future__ import annotations
+
+from repro.sanitize import diff_paths, state_digest
+
+
+def test_digest_ignores_dict_insertion_order():
+    digest_a, _ = state_digest([], {"x": {"b": 1, "a": 2}})
+    digest_b, _ = state_digest([], {"x": {"a": 2, "b": 1}})
+    assert digest_a == digest_b
+
+
+def test_digest_differs_on_value_change():
+    digest_a, _ = state_digest([], {"x": 1})
+    digest_b, _ = state_digest([], {"x": 2})
+    assert digest_a != digest_b
+
+
+def test_digest_canonicalizes_tuples_and_non_json_leaves():
+    digest_a, state = state_digest([], {"row": (1, "k"), "blob": b"x"})
+    digest_b, _ = state_digest([], {"row": [1, "k"], "blob": b"x"})
+    assert digest_a == digest_b
+    assert state["observations"]["row"] == [1, "k"]
+    assert state["observations"]["blob"] == repr(b"x")
+
+
+def test_diff_paths_reports_dotted_paths():
+    a = {"kv": {"k1": 1, "k2": [1, 2]}, "only_a": True}
+    b = {"kv": {"k1": 9, "k2": [1, 3]}}
+    paths = "\n".join(diff_paths(a, b))
+    assert "kv.k1: 1 != 9" in paths
+    assert "kv.k2[1]: 2 != 3" in paths
+    assert "only_a: only in first run" in paths
+
+
+def test_diff_paths_reports_length_mismatch_and_respects_limit():
+    assert diff_paths({"rows": [1]}, {"rows": [1, 2]}) == \
+        ["rows: length 1 != 2"]
+    many_a = {str(i): i for i in range(50)}
+    many_b = {str(i): i + 1 for i in range(50)}
+    assert len(diff_paths(many_a, many_b, limit=5)) == 5
+
+
+def test_diff_paths_empty_for_equal_structures():
+    structure = {"a": [1, {"b": None}]}
+    assert diff_paths(structure, {"a": [1, {"b": None}]}) == []

@@ -1,0 +1,128 @@
+"""Oracle self-tests and schedule-independence property tests.
+
+The fixture tests are the sanitizer's proof of detection power: each
+deliberately broken scenario must be caught by the right detector.  The
+property tests are the paper-facing claim: durability acks and XDCR
+conflict resolution hold under (well over) ten shuffled schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.scheduler import SeededShuffle
+from repro.sanitize import explore, get_scenarios, policy_matrix, run_scenario
+from repro.sanitize.fixtures import fixture_scenarios
+
+
+def _fixture(name):
+    return {s.name: s for s in fixture_scenarios()}[name]
+
+
+def _builtin(name):
+    return {s.name: s for s in get_scenarios(None)}[name]
+
+
+# -- policy matrix ------------------------------------------------------------------
+
+
+def test_policy_matrix_composition():
+    policies = policy_matrix(10)
+    described = [p.describe() for p in policies]
+    assert described[0] == "registration-order"
+    assert sum(d.startswith("seeded-shuffle") for d in described) == 10
+    assert sum(d.startswith("starve-one") for d in described) == 2
+    assert sum(d.startswith("weighted") for d in described) == 2
+    assert len(described) == len(set(described))
+
+
+def test_policy_matrix_is_deterministic():
+    first = [p.describe() for p in policy_matrix(7)]
+    second = [p.describe() for p in policy_matrix(7)]
+    assert first == second
+
+
+# -- fixture self-tests: each bug caught by the right detector ----------------------
+
+
+def test_order_dependent_fixture_caught_by_oracle_only():
+    report = explore(_fixture("order-dependent"), seeds=6)
+    assert report.divergences, "oracle missed the order-dependent log"
+    assert not report.races  # no tagged structure involved
+    divergence = report.divergences[0]
+    assert divergence.first_divergent_round is not None
+    assert divergence.schedule_a != divergence.schedule_b
+    assert any("observations.log" in path for path in divergence.state_diffs)
+
+
+def test_rogue_direct_write_fixture_caught_by_tracker_only():
+    report = explore(_fixture("rogue-direct-write"), seeds=6)
+    assert not report.divergences  # the write is deterministic...
+    kinds = {race.kind for race in report.races}
+    assert kinds == {"unmediated-write"}  # ...but still unmediated
+    [race] = report.races
+    assert race.pump == "rg:rogue"
+    assert race.target == "kv/rg1/b"
+
+
+def test_queue_theft_fixture_caught_by_both_detectors():
+    report = explore(_fixture("queue-theft"), seeds=12)
+    kinds = {race.kind for race in report.races}
+    assert "queue-theft" in kinds
+    assert all(race.pump == "qt:thief" for race in report.races)
+    assert report.divergences, "stolen mutations should distort the index"
+    assert any("views" in path
+               for divergence in report.divergences
+               for path in divergence.state_diffs)
+
+
+def test_fixture_findings_are_reproducible():
+    report_a = explore(_fixture("order-dependent"), seeds=4)
+    report_b = explore(_fixture("order-dependent"), seeds=4)
+    assert [run.digest for run in report_a.runs] == \
+        [run.digest for run in report_b.runs]
+
+
+# -- built-in scenarios: the schedule-independence property -------------------------
+
+
+def test_kv_durability_holds_under_ten_plus_shuffled_seeds():
+    report = explore(_builtin("kv-durability"), seeds=10)
+    assert len(report.runs) >= 11  # baseline + 10 shuffles + adversarial
+    assert report.clean, [d.format() for d in report.divergences] + \
+        [r.format() for r in report.races]
+    assert len({run.digest for run in report.runs}) == 1
+
+
+def test_xdcr_conflict_resolution_holds_under_ten_plus_shuffled_seeds():
+    report = explore(_builtin("xdcr-bidirectional"), seeds=10)
+    assert report.clean, [d.format() for d in report.divergences] + \
+        [r.format() for r in report.races]
+    assert len({run.digest for run in report.runs}) == 1
+
+
+@pytest.mark.parametrize("name", ["failover-replica-promote", "views-gsi-index"])
+def test_remaining_builtin_scenarios_are_clean(name):
+    report = explore(_builtin(name), seeds=4)
+    assert report.clean, [d.format() for d in report.divergences] + \
+        [r.format() for r in report.races]
+
+
+def test_same_seed_same_run_record():
+    scenario = _builtin("kv-durability")
+    first = run_scenario(scenario, SeededShuffle(5))
+    second = run_scenario(scenario, SeededShuffle(5))
+    assert first.digest == second.digest
+    assert first.traces == second.traces
+
+
+def test_durability_observe_recorded_per_chain_node():
+    record = run_scenario(_builtin("kv-durability"), SeededShuffle(1))
+    observed = record.state["observations"]["observe"]
+    assert len(observed) == 12
+    for probes in observed.values():
+        assert len(probes) == 2  # active + replica
+        for _node, exists, persisted in probes:
+            # Deleted keys observe as absent; survivors must be persisted
+            # on every chain node (persist_to=1 plus full quiescence).
+            assert (not exists) or persisted

@@ -211,3 +211,47 @@ class TestSetWithMeta:
             DocumentMeta(key="k", cas=result.cas, seqno=1, rev=1), {"v": 1}
         )
         assert not node.engines["b"].set_with_meta(vb, twin)
+
+
+class TestDownTarget:
+    """Regression: a push that fails after the stream already consumed
+    the mutation must not be silently dropped.  The pump now drops the
+    stream (to be reopened from seqno 0) instead of skipping the doc."""
+
+    def test_docs_written_while_target_down_arrive_after_restart(self, east):
+        west = make_cluster(1, 8)
+        XdcrReplication(east, west, "b")
+        ce, cw = east.connect(), west.connect()
+        ce.upsert("b", "before", {"phase": "before"})
+        settle(east, west)
+        assert cw.get("b", "before").value == {"phase": "before"}
+
+        west.crash_node("node1")
+        for i in range(10):
+            ce.upsert("b", f"during{i}", {"i": i})
+        # The source must quiesce even though every push fails ...
+        settle(east, west)
+
+        west.restart_node("node1")
+        settle(east, west)
+        # ... and nothing consumed-but-undelivered may be lost.
+        for i in range(10):
+            assert cw.get("b", f"during{i}").value == {"i": i}
+        assert cw.get("b", "before").value == {"phase": "before"}
+
+    def test_replay_after_reopen_does_not_regress_metadata(self, east):
+        west = make_cluster(1, 8)
+        XdcrReplication(east, west, "b")
+        ce, cw = east.connect(), west.connect()
+        ce.upsert("b", "k", {"v": 1})
+        settle(east, west)
+        west.crash_node("node1")
+        ce.upsert("b", "k", {"v": 2})
+        settle(east, west)
+        west.restart_node("node1")
+        settle(east, west)
+        # The reopened stream replays from seqno 0; conflict resolution
+        # must converge on the latest revision, not an echo of v1.
+        remote = cw.get("b", "k")
+        assert remote.value == {"v": 2}
+        assert remote.meta.rev == 2
