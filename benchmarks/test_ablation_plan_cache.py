@@ -25,7 +25,7 @@ import pytest
 from conftest import print_series
 
 from repro import Cluster
-from repro.cluster.services import Service
+from repro.common.services import Service
 from repro.n1ql import compile as n1ql_compile
 
 ITERS = int(os.environ.get("REPRO_ABLATION_ITERS", "400"))

@@ -34,7 +34,7 @@ def test_adhoc(cluster, benchmark):
     # Ad-hoc statements now hit the plan cache, which would make this
     # identical to EXECUTE; clear it each round so the ad-hoc side
     # actually pays for parse+plan (the serial phase being measured).
-    from repro.cluster.services import Service
+    from repro.common.services import Service
     service = cluster.service_node(Service.QUERY).query_service
 
     def op():

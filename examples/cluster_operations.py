@@ -14,7 +14,7 @@ Run:  python examples/cluster_operations.py
 """
 
 from repro import Cluster
-from repro.cluster.services import Service
+from repro.common.services import Service
 
 
 def spread(cluster, bucket="data"):

@@ -89,7 +89,7 @@ def main() -> None:
         "CREATE INDEX by_category ON catalog"
         "(DISTINCT ARRAY c FOR c IN categories END) USING GSI")
     audio = cluster.gsi.scan("by_category", low=["audio"], high=["audio"],
-                             consistency="request_plus")
+                             scan_consistency="request_plus")
     print(f"  {len(audio)} products tagged 'audio' via the array index")
 
     # -- partial index over in-stock products (section 3.3.4) ----------------------------

@@ -1,0 +1,47 @@
+"""Shared machinery for the static/dynamic analysis CLIs.
+
+Three tools gate this tree in CI -- repro-lint (per-file AST
+invariants), repro-sanitize (schedule-interleaving race detection) and
+repro-flow (whole-program call-graph analysis) -- and they share one
+contract so a CI job can treat them interchangeably:
+
+* exit status 0 when clean, 1 when findings were reported, 2 on usage
+  errors (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`);
+* per-line suppressions ``# <tool>: disable=<name>[,<name>...]`` with a
+  ``disable-next=`` form for multi-line statements
+  (:func:`parse_suppressions`);
+* ``--format github`` emitting ``::error`` workflow commands that land
+  as inline PR annotations (:func:`github_annotation`);
+* a strict/relaxed/auto profile split resolving per file -- strict under
+  ``src/repro``, relaxed for harness code (:func:`profile_for`).
+
+This package holds that contract in one place; the tools keep only
+their own rules/scenarios/analyses.
+"""
+
+from .harness import (  # noqa: F401
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    PROFILES,
+    discover,
+    module_name_for,
+    parse_suppressions,
+    profile_for,
+    suppressed,
+)
+from .output import FORMATS, github_annotation  # noqa: F401
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "FORMATS",
+    "PROFILES",
+    "discover",
+    "github_annotation",
+    "module_name_for",
+    "parse_suppressions",
+    "profile_for",
+    "suppressed",
+]

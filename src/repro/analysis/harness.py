@@ -1,0 +1,96 @@
+"""Exit codes, suppressions, discovery and profiles for analysis CLIs.
+
+Everything here used to live in :mod:`repro.lint.engine` and was grown
+in place by repro-sanitize and repro-flow; it is tool-agnostic, so it
+moved here.  The lint engine re-exports the old names for callers that
+still import them from there.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+#: The shared CLI exit contract: CI gates on these next to ruff.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+PROFILES = ("strict", "relaxed")
+
+#: Compiled suppression patterns, one per tool tag (``repro-lint``,
+#: ``repro-flow``, ...).  Same-line ``disable=`` covers that line;
+#: ``disable-next=`` on the line before covers multi-line statements.
+_SUPPRESS_RES: dict[str, re.Pattern[str]] = {}
+
+
+def _suppress_re(tool: str) -> re.Pattern[str]:
+    pattern = _SUPPRESS_RES.get(tool)
+    if pattern is None:
+        pattern = re.compile(
+            r"#\s*" + re.escape(tool)
+            + r":\s*(disable|disable-next)\s*=\s*([a-z0-9_,\- ]+)"
+        )
+        _SUPPRESS_RES[tool] = pattern
+    return pattern
+
+
+def parse_suppressions(source_lines: list[str],
+                       tool: str = "repro-lint") -> dict[int, set[str]]:
+    """Map line number -> names disabled on that line ("all" disables
+    everything the tool checks)."""
+    suppressed_lines: dict[int, set[str]] = {}
+    matcher = _suppress_re(tool)
+    for index, line in enumerate(source_lines, start=1):
+        match = matcher.search(line)
+        if match is None:
+            continue
+        kind, names = match.groups()
+        target = index + 1 if kind == "disable-next" else index
+        names_set = {name.strip() for name in names.split(",") if name.strip()}
+        suppressed_lines.setdefault(target, set()).update(names_set)
+    return suppressed_lines
+
+
+def suppressed(name: str, line: int,
+               suppressions: dict[int, set[str]]) -> bool:
+    disabled = suppressions.get(line, set())
+    return name in disabled or "all" in disabled
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path for a file: everything from the ``repro``
+    package component down; bare stem for scripts outside the package."""
+    parts = list(path.parts)
+    name = path.stem
+    if "repro" in parts[:-1]:
+        package_parts = parts[parts.index("repro"):-1]
+        if name == "__init__":
+            return ".".join(package_parts)
+        return ".".join(package_parts + [name])
+    return name
+
+
+def discover(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def profile_for(path: Path, requested: str = "auto") -> str:
+    """``auto`` resolves per file: strict inside the ``repro`` package
+    tree (``src/repro``), relaxed for harness code outside it."""
+    if requested != "auto":
+        return requested
+    parts = path.parts
+    for index, part in enumerate(parts[:-1]):
+        if part == "src" and index + 1 < len(parts) and parts[index + 1] == "repro":
+            return "strict"
+    return "relaxed"

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from ..common.document import Document
 from ..common.errors import (
     BucketNotFoundError,
+    declared_raises,
     NotConnectedError,
     KeyNotFoundError,
     NodeDownError,
@@ -36,6 +37,9 @@ from ..common.scheduler import Scheduler
 from ..common.transport import Network
 from ..kv.types import MutationResult
 from ..replication.durability import DurabilityMonitor, DurabilityRequirement
+
+if TYPE_CHECKING:
+    from ..server import Cluster
 
 #: Process-wide client-id source: ids stay unique across clusters in
 #: one test process.
@@ -85,6 +89,10 @@ class SmartClient:
     """A connected application client (the SDK of section 3.1)."""
 
     MAX_RETRIES = 8
+
+    #: Set by :meth:`repro.server.Cluster.connect`; the in-process N1QL
+    #: and view APIs route through the owning facade.
+    cluster: "Cluster | None" = None
 
     def __init__(self, manager, network: Network, scheduler: Scheduler):
         self.manager = manager
@@ -139,10 +147,19 @@ class SmartClient:
 
     # -- key-value API (section 3.1.1) ------------------------------------------------
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError')
     def get(self, bucket: str, key: str) -> Document:
         """Read a document by primary key (routed to the active node)."""
         return self._call(bucket, key, "kv_get")
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'DocumentLockedError', 'DurabilityError',
+                     'DurabilityImpossibleError', 'InvalidArgumentError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def upsert(self, bucket: str, key: str, value: JsonValue, *,
                cas: int = 0, expiry: float = 0.0, flags: int = 0,
                replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
@@ -152,6 +169,12 @@ class SmartClient:
         self._wait_durable(bucket, key, result, replicate_to, persist_to)
         return result
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'DurabilityError', 'DurabilityImpossibleError',
+                     'InvalidArgumentError', 'KeyExistsError',
+                     'KeyNotFoundError', 'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def insert(self, bucket: str, key: str, value: JsonValue, *,
                expiry: float = 0.0, flags: int = 0,
                replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
@@ -160,6 +183,12 @@ class SmartClient:
         self._wait_durable(bucket, key, result, replicate_to, persist_to)
         return result
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'DurabilityError', 'DurabilityImpossibleError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def replace(self, bucket: str, key: str, value: JsonValue, *,
                 cas: int = 0, expiry: float = 0.0, flags: int = 0,
                 replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
@@ -168,6 +197,12 @@ class SmartClient:
         self._wait_durable(bucket, key, result, replicate_to, persist_to)
         return result
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'DurabilityError', 'DurabilityImpossibleError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError')
     def remove(self, bucket: str, key: str, *, cas: int = 0,
                replicate_to: int = 0, persist_to: int = 0) -> MutationResult:
         """Delete a document (a tombstone mutation that flows through
@@ -176,20 +211,38 @@ class SmartClient:
         self._wait_durable(bucket, key, result, replicate_to, persist_to)
         return result
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def touch(self, bucket: str, key: str, expiry: float) -> MutationResult:
         """Update a document's TTL without changing its value."""
         return self._call(bucket, key, "kv_touch", expiry)
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'DocumentLockedError', 'InvalidArgumentError',
+                     'KeyNotFoundError', 'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError')
     def get_and_lock(self, bucket: str, key: str,
                      lock_time: float | None = None) -> Document:
         """Read and pessimistically lock a document (section 3.1.1); the
         returned CAS is the lock token."""
         return self._call(bucket, key, "kv_get_and_lock", lock_time)
 
+    @declared_raises('BucketNotFoundError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError')
     def unlock(self, bucket: str, key: str, cas: int) -> None:
         """Release a get-and-lock hold using its lock CAS."""
         self._call(bucket, key, "kv_unlock", cas)
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def counter(self, bucket: str, key: str, delta: int, *,
                 initial: int | None = None) -> tuple[int, MutationResult]:
         """Atomic increment/decrement of an integer document."""
@@ -197,10 +250,19 @@ class SmartClient:
 
     # -- sub-document API --------------------------------------------------------------
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError')
     def lookup_in(self, bucket: str, key: str, paths: list[str]) -> list:
         """Fetch selected sub-document paths; one result dict per path."""
         return self._call(bucket, key, "kv_lookup_in", paths)
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def mutate_in(self, bucket: str, key: str,
                   operations: list[tuple[str, str, JsonValue]],
                   *, cas: int = 0) -> MutationResult:
@@ -288,6 +350,9 @@ class SmartClient:
             batch.errors[key] = last_errors[key]
         return batch
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError', 'NodeDownError',
+                     'NotMyVBucketError', 'TemporaryFailureError')
     def multi_get(self, bucket: str, keys: list[str], *,
                   batched: bool = True) -> dict[str, Document]:
         """Batch point lookups: one ``kv_multi_get`` RPC per involved
@@ -302,6 +367,8 @@ class SmartClient:
             for key in keys:
                 try:
                     out[key] = self.get(bucket, key)
+                # Absent keys are simply omitted from the result dict (documented API).
+                # repro-flow: disable-next=swallowed-exception
                 except KeyNotFoundError:
                     continue
             return out
@@ -311,10 +378,12 @@ class SmartClient:
                 raise error
         return dict(batch.results)
 
+    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
     def multi_get_batch(self, bucket: str, keys: list[str]) -> BatchResult:
         """Batch point lookups with the full per-key outcome surface."""
         return self._multi_call(bucket, "kv_multi_get", list(keys))
 
+    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
     def multi_upsert(self, bucket: str,
                      items: Mapping[str, JsonValue] | Iterable[tuple[str, JsonValue]],
                      *, expiry: float = 0.0, flags: int = 0) -> BatchResult:
@@ -330,6 +399,7 @@ class SmartClient:
         return self._multi_call(bucket, "kv_multi_mutate",
                                 list(pairs), payload)
 
+    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
     def multi_remove(self, bucket: str, keys: list[str]) -> BatchResult:
         """Delete many documents, one ``kv_multi_mutate`` RPC per node.
         A key that does not exist surfaces its ``KeyNotFoundError`` in
@@ -340,6 +410,7 @@ class SmartClient:
 
     # -- N1QL API (section 3.1.3) ---------------------------------------------------------
 
+    @declared_raises('NotConnectedError', 'ServiceUnavailableError')
     def query(self, statement: str, params=None,
               scan_consistency: str = "not_bounded",
               consistent_with=None):
@@ -352,6 +423,8 @@ class SmartClient:
 
     # -- view query API (section 3.1.2) -------------------------------------------------
 
+    @declared_raises('InvalidArgumentError', 'NotConnectedError',
+                     'TimeoutError_', 'ViewNotFoundError')
     def view_query(self, bucket: str, design: str, view: str, **params):
         """Query a view with the REST-style parameters (key, keys,
         startkey/endkey, stale, group, limit, ...)."""

@@ -6,7 +6,7 @@ from .cluster_map import DEFAULT_NUM_VBUCKETS, ClusterMap, plan_map
 from .manager import ClusterManager
 from .node import Node
 from .rebalance import Rebalancer
-from .services import BucketConfig, Service
+from ..common.services import BucketConfig, Service
 
 __all__ = [
     "BucketConfig",

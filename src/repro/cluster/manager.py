@@ -25,13 +25,14 @@ from ..common.errors import (
     NodeExistsError,
     NodeNotFoundError,
     NoQuorumError,
+    declared_raises,
 )
 from ..common.scheduler import Scheduler
 from ..common.transport import Network
 from ..replication.intra import IntraReplicator
 from .cluster_map import ClusterMap, plan_map
 from .node import Node
-from .services import BucketConfig, Service
+from ..common.services import BucketConfig, Service
 
 
 class ClusterManager:
@@ -220,11 +221,14 @@ class ClusterManager:
             try:
                 self.network.call("cluster-manager", name, "apply_cluster_map",
                                   bucket, cluster_map)
+            # Down nodes pick the map up from the manager when they reconnect.
+            # repro-flow: disable-next=swallowed-exception
             except NodeDownError:
                 continue
 
     # -- failure detection & failover ------------------------------------------------------
 
+    @declared_raises('NodeNotFoundError')
     def _pump(self) -> bool:
         """Heartbeat sweep: notice unreachable nodes; auto-failover those
         unreachable longer than the timeout."""
@@ -284,6 +288,8 @@ class ClusterManager:
             try:
                 self.network.call("cluster-manager", node_name,
                                   "apply_cluster_map", bucket, new_map)
+            # Demotion is best-effort: a truly dead node has nothing to demote.
+            # repro-flow: disable-next=swallowed-exception
             except NodeDownError:
                 pass
             report[bucket] = {"promoted": promoted, "lost": lost}

@@ -20,14 +20,14 @@ from typing import TYPE_CHECKING
 from ..common.clock import Clock
 from ..common.disk import SimulatedDisk
 from ..common.document import Document
-from ..common.errors import BucketNotFoundError
+from ..common.errors import BucketNotFoundError, declared_raises
 from ..common.metrics import MetricsRegistry
 from ..common.transport import Network
 from ..dcp.producer import DcpProducer
 from ..kv.engine import KVEngine
 from ..kv.types import MutationResult, ObserveResult, VBucketState
 from .cluster_map import ClusterMap
-from .services import BucketConfig, Service
+from ..common.services import BucketConfig, Service
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..gsi.manager import IndexService
@@ -140,54 +140,100 @@ class Node:
 
     # -- KV RPC surface (what smart clients call) ------------------------------------
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError')
     def kv_get(self, bucket: str, vbucket_id: int, key: str) -> Document:
         return self.engine(bucket).get(vbucket_id, key)
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'DocumentLockedError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def kv_upsert(self, bucket: str, vbucket_id: int, key: str, value,
                   cas: int = 0, expiry: float = 0.0, flags: int = 0) -> MutationResult:
         return self.engine(bucket).upsert(
             vbucket_id, key, value, cas=cas, expiry=expiry, flags=flags
         )
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyExistsError',
+                     'KeyNotFoundError', 'NotMyVBucketError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def kv_insert(self, bucket: str, vbucket_id: int, key: str, value,
                   expiry: float = 0.0, flags: int = 0) -> MutationResult:
         return self.engine(bucket).insert(
             vbucket_id, key, value, expiry=expiry, flags=flags
         )
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError',
+                     'ValueTooLargeError')
     def kv_replace(self, bucket: str, vbucket_id: int, key: str, value,
                    cas: int = 0, expiry: float = 0.0, flags: int = 0) -> MutationResult:
         return self.engine(bucket).replace(
             vbucket_id, key, value, cas=cas, expiry=expiry, flags=flags
         )
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError')
     def kv_delete(self, bucket: str, vbucket_id: int, key: str,
                   cas: int = 0) -> MutationResult:
         return self.engine(bucket).delete(vbucket_id, key, cas=cas)
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError',
+                     'ValueTooLargeError')
     def kv_touch(self, bucket: str, vbucket_id: int, key: str,
                  expiry: float) -> MutationResult:
         return self.engine(bucket).touch(vbucket_id, key, expiry)
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'DocumentLockedError', 'InvalidArgumentError',
+                     'KeyNotFoundError', 'NotMyVBucketError',
+                     'TemporaryFailureError')
     def kv_get_and_lock(self, bucket: str, vbucket_id: int, key: str,
                         lock_time: float | None = None) -> Document:
         return self.engine(bucket).get_and_lock(vbucket_id, key, lock_time)
 
+    @declared_raises('BucketNotFoundError', 'DocumentLockedError',
+                     'KeyNotFoundError', 'NotMyVBucketError',
+                     'TemporaryFailureError')
     def kv_unlock(self, bucket: str, vbucket_id: int, key: str, cas: int) -> None:
         self.engine(bucket).unlock(vbucket_id, key, cas)
 
+    @declared_raises('BucketNotFoundError', 'NotMyVBucketError')
     def kv_observe(self, bucket: str, vbucket_id: int, key: str) -> ObserveResult:
         return self.engine(bucket).observe(vbucket_id, key)
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError',
+                     'ValueTooLargeError')
     def kv_counter(self, bucket: str, vbucket_id: int, key: str, delta: int,
                    initial: int | None = None):
         return self.engine(bucket).counter(vbucket_id, key, delta,
                                            initial=initial)
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError')
     def kv_lookup_in(self, bucket: str, vbucket_id: int, key: str,
                      paths: list) -> list:
         return self.engine(bucket).lookup_in(vbucket_id, key, paths)
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError',
+                     'ValueTooLargeError')
     def kv_mutate_in(self, bucket: str, vbucket_id: int, key: str,
                      operations: list, cas: int = 0) -> MutationResult:
         return self.engine(bucket).mutate_in(vbucket_id, key, operations,
@@ -195,12 +241,14 @@ class Node:
 
     # -- batched KV RPC surface (one network call serves many keys) -------------------
 
+    @declared_raises('BucketNotFoundError')
     def kv_multi_get(self, bucket: str,
                      items: list[tuple[int, str]]) -> list[tuple[str, object]]:
         """Batch point lookups for keys this node hosts: one RPC, one
         per-item outcome each (``("ok", Document)`` / ``("err", error)``)."""
         return self.engine(bucket).multi_get(items)
 
+    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
     def kv_multi_mutate(self, bucket: str,
                         ops: list[tuple[str, int, str, dict]]) -> list[tuple[str, object]]:
         """Batch mutations (upsert/insert/replace/delete) with per-op
@@ -209,10 +257,14 @@ class Node:
 
     # -- replication RPC surface ----------------------------------------------------
 
+    @declared_raises('BucketNotFoundError', 'NotMyVBucketError')
     def kv_apply_replicated(self, bucket: str, vbucket_id: int,
                             doc: Document) -> None:
         self.engine(bucket).apply_replicated(vbucket_id, doc)
 
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'NotMyVBucketError', 'TemporaryFailureError')
     def kv_set_with_meta(self, bucket: str, vbucket_id: int,
                          doc: Document) -> bool:
         """XDCR inbound: apply a remote-cluster mutation after conflict
@@ -220,10 +272,7 @@ class Node:
         target node rejects pushes like any other RPC."""
         return self.engine(bucket).set_with_meta(vbucket_id, doc)
 
-    def kv_vbucket_high_seqno(self, bucket: str, vbucket_id: int) -> int:
-        vb = self.engine(bucket).vbuckets.get(vbucket_id)
-        return vb.high_seqno if vb is not None else 0
-
+    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
     def kv_reset_replica(self, bucket: str, vbucket_id: int) -> None:
         """Blow away a divergent replica so replication can rebuild it
         from seqno 0 (the rollback-to-zero recovery path)."""
@@ -231,6 +280,7 @@ class Node:
         engine.drop_vbucket(vbucket_id)
         engine.create_vbucket(vbucket_id, VBucketState.REPLICA)
 
+    @declared_raises('BucketNotFoundError')
     def kv_replica_stream_state(self, bucket: str,
                                 vbucket_id: int) -> tuple:
         """What a resuming producer needs: the lineage uuid this replica
@@ -242,6 +292,7 @@ class Node:
                 if vb.source_failover_log else None)
         return (uuid, vb.high_seqno)
 
+    @declared_raises('BucketNotFoundError')
     def kv_adopt_failover_log(self, bucket: str, vbucket_id: int,
                               log: list) -> None:
         """Producer hands its failover log to the replica at stream open

@@ -1,0 +1,51 @@
+"""Multi-dimensional scaling: the service types a node can run.
+
+Section 4.4: "an administrator can choose to run the Data, Index and
+Query Services on all or different nodes", sizing each independently
+(data nodes want memory, query nodes want cores, index nodes want fast
+disks).  The futures section adds search and analytics; both are listed
+here so topologies can reserve nodes for them, though only data, index,
+and query have engines in this reproduction's scope (search/analytics
+are explicitly future work in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Service(Enum):
+    DATA = "data"
+    INDEX = "index"
+    QUERY = "query"
+    SEARCH = "search"
+    ANALYTICS = "analytics"
+
+ALL_CORE_SERVICES = frozenset({Service.DATA, Service.INDEX, Service.QUERY})
+
+
+@dataclass
+class BucketConfig:
+    """Per-bucket (keyspace) settings -- section 4.1."""
+
+    name: str
+    num_replicas: int = 1
+    quota_bytes: int | None = None
+    eviction_policy: str = "value"
+    #: Online auto-compaction fires past this fragmentation ratio
+    #: (section 4.3.3); None disables it.
+    compaction_threshold: float | None = 0.6
+    #: Seconds between expiry-pager sweeps; None disables the pager
+    #: (expiry still happens lazily on access).
+    expiry_pager_interval: float | None = 60.0
+
+    def __post_init__(self):
+        if not 0 <= self.num_replicas <= 3:
+            raise ValueError("a bucket can be replicated up to 3 times")
+        if "/" in self.name or not self.name:
+            raise ValueError(f"invalid bucket name: {self.name!r}")
+        if self.compaction_threshold is not None and not (
+            0.0 < self.compaction_threshold < 1.0
+        ):
+            raise ValueError("compaction_threshold must be in (0, 1)")

@@ -43,11 +43,6 @@ def install(tracker) -> object | None:
     return previous
 
 
-def uninstall() -> None:
-    global _tracker
-    _tracker = None
-
-
 def current():
     """The installed tracker, or ``None`` outside sanitized runs."""
     return _tracker

@@ -51,9 +51,6 @@ class DcpStream:
     def vbucket_id(self) -> int:
         return self.vb.id
 
-    def current_uuid(self) -> int:
-        return self.vb.uuid
-
     def caught_up(self) -> bool:
         """True when the consumer has everything the vBucket has."""
         return self.last_seqno >= self.vb.high_seqno

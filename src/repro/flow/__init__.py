@@ -1,0 +1,42 @@
+"""repro-flow: whole-program call-graph analysis for the repro tree.
+
+Where repro-lint judges one file at a time, repro-flow parses the whole
+tree once, builds a module import graph and a name-resolved call graph
+(methods, scheduler pumps, timers, ``functools.partial``, and fabric
+dispatch-by-string are all explicit edge kinds), and runs three
+interprocedural analyses on top:
+
+* **exception flow** -- which ``common.errors`` exceptions can escape
+  each service entry point, checked against ``@declared_raises``
+  contracts (:mod:`repro.flow.excflow`);
+* **option plumbing** -- do ``replicate_to`` / ``scan_consistency`` /
+  ``stale`` and friends survive the trip from client API to engine sink
+  under their canonical names (:mod:`repro.flow.options`);
+* **layer conformance** -- imports must flow down the architecture DAG,
+  with cycle detection over eager imports (:mod:`repro.flow.layers`).
+
+A reachability-based dead-code report rides along
+(:mod:`repro.flow.deadcode`).  The CLI shares repro-lint's exit-status
+contract, suppression syntax (``# repro-flow: disable=<check>``), and
+``--format github`` output via :mod:`repro.analysis`.
+"""
+
+from .callgraph import CallEdge, CallGraph, build_callgraph
+from .deadcode import analyze_dead_code
+from .excflow import analyze_exceptions
+from .findings import FlowFinding
+from .layers import analyze_layers
+from .options import analyze_options
+from .project import Project
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "FlowFinding",
+    "Project",
+    "analyze_dead_code",
+    "analyze_exceptions",
+    "analyze_layers",
+    "analyze_options",
+    "build_callgraph",
+]

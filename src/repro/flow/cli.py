@@ -1,0 +1,213 @@
+"""Command line front end: ``python -m repro.flow [paths...]``.
+
+Exit status mirrors repro-lint and repro-sanitize: 0 clean, 1 findings,
+2 usage errors -- one contract for all three gates in CI.
+
+Beyond the three checking analyses there are two helper modes:
+``--report dead-code`` prints unreachable-function candidates (always
+exit 0: deleting code is a decision, not a gate), and
+``--suggest-raises`` prints ready-to-paste ``@declared_raises`` lines
+for every entry point with undeclared escapes -- the intended workflow
+for bringing a new entry point under the exception-flow contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..analysis import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    FORMATS,
+    PROFILES,
+    discover,
+    github_annotation,
+    profile_for,
+    suppressed,
+)
+from ..common.errors import InvalidArgumentError
+from .callgraph import build_callgraph
+from .deadcode import analyze_dead_code
+from .excflow import analyze_exceptions
+from .findings import FlowFinding
+from .layers import analyze_layers
+from .options import analyze_options
+from .project import Project
+
+ANALYSES = ("exceptions", "options", "layers")
+
+#: Checks the relaxed profile (examples/, benchmarks/, fixtures run
+#: without --profile strict) does not enforce: demo scripts drive the
+#: cluster without declaring a raises contract.
+RELAXED_EXEMPT = frozenset({"exception-escape"})
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.flow",
+        description="Whole-program call-graph analysis for the repro "
+                    "package: exception-flow exhaustiveness, option "
+                    "plumbing, and layer conformance.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze as one program "
+             "(default: src/repro)",
+    )
+    parser.add_argument(
+        "--check", metavar="NAME[,NAME...]", default=None,
+        help=f"run only these analyses (of: {', '.join(ANALYSES)})",
+    )
+    parser.add_argument(
+        "--profile", choices=("auto",) + PROFILES, default="auto",
+        help="auto (default) is strict under src/repro and relaxed "
+             "elsewhere; relaxed does not require @declared_raises "
+             "contracts",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="output_format",
+        help="text (default) prints path:line:col lines; github emits "
+             "::error workflow commands that become inline PR annotations",
+    )
+    parser.add_argument(
+        "--report", choices=("dead-code",), default=None,
+        help="print the dead-code candidate report instead of running "
+             "the checking analyses (informational; always exits 0)",
+    )
+    parser.add_argument(
+        "--suggest-raises", action="store_true",
+        help="print a @declared_raises(...) suggestion for every entry "
+             "point with undeclared escaping exceptions, then exit 0",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def _selected(arg: str | None) -> tuple[str, ...]:
+    if arg is None:
+        return ANALYSES
+    names = tuple(name.strip() for name in arg.split(",") if name.strip())
+    unknown = [name for name in names if name not in ANALYSES]
+    if unknown:
+        raise InvalidArgumentError(
+            f"unknown analysis {', '.join(unknown)} "
+            f"(choose from {', '.join(ANALYSES)})"
+        )
+    return names
+
+
+def _keep(finding: FlowFinding, project: Project, requested: str) -> bool:
+    module = next(
+        (m for m in project.modules.values() if m.path == finding.path),
+        None,
+    )
+    if module is not None and suppressed(finding.check, finding.line,
+                                         module.suppressions):
+        return False
+    profile = profile_for(Path(finding.path), requested)
+    if profile == "relaxed" and finding.check in RELAXED_EXEMPT:
+        return False
+    return True
+
+
+def _print_finding(finding: FlowFinding, output_format: str) -> None:
+    if output_format == "github":
+        print(github_annotation(
+            finding.message, title=f"repro-flow: {finding.check}",
+            path=finding.path, line=finding.line, col=finding.col,
+        ))
+    else:
+        print(finding.format())
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        checks = _selected(args.check)
+    except InvalidArgumentError as exc:
+        print(f"repro-flow: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    files = discover(args.paths)
+    if not files:
+        print(f"repro-flow: no Python files under {args.paths}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    project = Project.build(Path(f) for f in files)
+    if project.parse_errors:
+        for path, line, message in project.parse_errors:
+            print(f"repro-flow: {path}:{line}: {message}", file=sys.stderr)
+        return EXIT_USAGE
+    graph = build_callgraph(project)
+
+    if args.report == "dead-code":
+        candidates = analyze_dead_code(graph)
+        for candidate in candidates:
+            print(f"{candidate.path}:{candidate.line}: dead-code: "
+                  f"{candidate.fqn}: {candidate.reason}")
+        if not args.quiet:
+            print(f"repro-flow: {len(candidates)} dead-code candidate"
+                  f"{'' if len(candidates) == 1 else 's'} "
+                  f"(informational; not a gate)")
+        return EXIT_CLEAN
+
+    if args.suggest_raises:
+        return _suggest_raises(graph, project)
+
+    findings: list[FlowFinding] = []
+    if "exceptions" in checks:
+        findings.extend(analyze_exceptions(graph).findings)
+    if "options" in checks:
+        findings.extend(analyze_options(graph))
+    if "layers" in checks:
+        findings.extend(analyze_layers(project))
+    findings = [f for f in findings if _keep(f, project, args.profile)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.check))
+    for finding in findings:
+        _print_finding(finding, args.output_format)
+    if not args.quiet:
+        print(
+            f"repro-flow: {len(findings)} finding"
+            f"{'' if len(findings) == 1 else 's'} in {len(files)} files "
+            f"({len(project.functions)} functions, {len(graph.edges)} "
+            f"call edges, {graph.unresolved_calls} unresolved calls)"
+        )
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def _suggest_raises(graph, project: Project) -> int:
+    result = analyze_exceptions(graph)
+    from .excflow import UNCHECKED, Taxonomy
+    taxonomy = Taxonomy(project)
+    suggestions = 0
+    for fqn in sorted(result.entry_points):
+        func = project.functions.get(fqn)
+        if func is None:
+            continue
+        declared: set[str] = set()
+        for name in func.raises_decl or ():
+            declared |= set(taxonomy.subtree(name)) \
+                if name in taxonomy else {name}
+        undeclared = sorted(
+            result.escapes.get(fqn, frozenset()) - declared - UNCHECKED
+        )
+        if not undeclared:
+            continue
+        suggestions += 1
+        module = project.modules.get(func.module)
+        path = module.path if module else func.module
+        names = ", ".join(repr(name) for name in undeclared)
+        print(f"{path}:{func.line}: {fqn}\n"
+              f"    @declared_raises({names})")
+    print(f"repro-flow: {suggestions} entry point"
+          f"{'' if suggestions == 1 else 's'} with undeclared escapes")
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The finding type every flow analysis reports.
+
+Mirrors :class:`repro.lint.engine.Violation` (``path:line:col: check:
+message``) so CI and editors treat repro-lint and repro-flow output
+identically; the two stay separate types because lint findings belong to
+a rule registry and flow findings to a whole-program analysis pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One finding: where, which check, and what to do about it."""
+
+    check: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.check}: {self.message}"

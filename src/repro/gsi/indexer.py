@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from ..common import tracing
 from ..common.disk import SimulatedDisk
-from ..common.errors import IndexExistsError, IndexNotFoundError
+from ..common.errors import (
+    IndexExistsError,
+    IndexNotFoundError,
+    declared_raises,
+)
 from .indexdef import IndexDefinition
 from .projector import KeyVersion
 from .storage import make_storage
@@ -51,12 +55,6 @@ class IndexInstance:
             if seqno > self.watermarks.get(vbucket_id, 0):
                 self.watermarks[vbucket_id] = seqno
 
-    def caught_up_to(self, marks: dict[int, int]) -> bool:
-        return all(
-            self.watermarks.get(vbucket_id, 0) >= seqno
-            for vbucket_id, seqno in marks.items()
-        )
-
 
 class Indexer:
     """Index hosting + scan serving for one index-service node."""
@@ -65,6 +63,7 @@ class Indexer:
         self.node = node
         self.instances: dict[str, IndexInstance] = {}
 
+    @declared_raises('IndexExistsError', 'InvalidArgumentError')
     def create(self, definition: IndexDefinition) -> IndexInstance:
         if definition.name in self.instances:
             raise IndexExistsError(definition.name)
@@ -89,6 +88,7 @@ class Indexer:
         if instance is not None:
             instance.apply(kv)
 
+    @declared_raises('IndexNotFoundError')
     def scan(self, name: str, low: list | None, high: list | None,
              inclusive_low: bool = True, inclusive_high: bool = True,
              descending: bool = False,
@@ -109,6 +109,7 @@ class Indexer:
         self.node.metrics.inc("gsi.scans")
         return rows
 
+    @declared_raises('IndexNotFoundError')
     def watermarks(self, name: str) -> dict[int, int]:
         return dict(self.instance(name).watermarks)
 

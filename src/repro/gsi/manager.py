@@ -20,6 +20,7 @@ Three pieces live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..common.errors import (
     IndexExistsError,
@@ -30,11 +31,15 @@ from ..common.errors import (
     ServiceUnavailableError,
     TimeoutError_,
 )
+from ..common.services import Service
 from ..kv.types import VBucketState
 from .indexdef import IndexDefinition
 from .indexer import Indexer
 from .projector import KeyVersion, Router
 from .storage import HIGH_BOUND, composite_compare
+
+if TYPE_CHECKING:
+    from ..server import Cluster
 
 
 @dataclass
@@ -117,7 +122,7 @@ class IndexService:
 class GsiCoordinator:
     """Cluster-level GSI DDL and scans (what the query service calls)."""
 
-    def __init__(self, cluster):
+    def __init__(self, cluster: "Cluster"):
         self.cluster = cluster
 
     @property
@@ -125,7 +130,6 @@ class GsiCoordinator:
         return self.cluster.manager.index_registry
 
     def _index_nodes(self) -> list[str]:
-        from ..cluster.services import Service
         names = self.cluster.manager.nodes_with_service(Service.INDEX)
         live = [n for n in names if not self.cluster.network.is_down(n)]
         if not live:
@@ -197,14 +201,18 @@ class GsiCoordinator:
                 for doc in engine.docs_in_vbucket(vbucket_id):
                     entries = definition.entries_for(doc.value, doc.key)
                     if entries:
-                        router.route(KeyVersion(
+                        if not router.route(KeyVersion(
                             index_name=definition.name,
                             bucket=definition.bucket,
                             doc_id=doc.key,
                             entries=entries,
                             vbucket_id=vbucket_id,
                             seqno=doc.meta.seqno,
-                        ))
+                        )):
+                            # Installing watermarks over a row the
+                            # indexer never received would declare a
+                            # permanently incomplete index "ready".
+                            raise ServiceUnavailableError("index")
                 marks[vbucket_id] = engine.vbuckets[vbucket_id].high_seqno
         for node_name in dict.fromkeys(meta.nodes):
             instance = self.cluster.node(node_name).indexer.indexer.instance(
@@ -220,6 +228,8 @@ class GsiCoordinator:
                 self.cluster.network.call(
                     "gsi-coordinator", node_name, "gsi_drop_local", name
                 )
+            # Drop is best-effort: registry removal already hides the index.
+            # repro-flow: disable-next=swallowed-exception
             except NodeDownError:
                 continue
 
@@ -243,7 +253,7 @@ class GsiCoordinator:
         inclusive_high: bool = True,
         descending: bool = False,
         limit: int | None = None,
-        consistency: str = "not_bounded",
+        scan_consistency: str = "not_bounded",
         mutation_tokens: list | None = None,
     ) -> list[tuple[list, str]]:
         """Cluster-level index scan: consistency barrier, partition
@@ -262,27 +272,28 @@ class GsiCoordinator:
             # Prefix upper bound: pad with a past-everything sentinel so
             # composite entries sharing the prefix are included.
             high = list(high) + [HIGH_BOUND] * (arity - len(high))
-        if consistency == "request_plus":
+        if scan_consistency == "request_plus":
             self._barrier(meta, self._current_seqnos(meta.definition.bucket))
-        elif consistency == "at_plus":
+        elif scan_consistency == "at_plus":
             marks: dict[int, int] = {}
             for token in mutation_tokens or []:
                 current = marks.get(token.vbucket_id, 0)
                 marks[token.vbucket_id] = max(current, token.seqno)
             self._barrier(meta, marks)
-        elif consistency != "not_bounded":
-            raise InvalidArgumentError(f"unknown scan consistency {consistency!r}")
+        elif scan_consistency != "not_bounded":
+            raise InvalidArgumentError(
+                f"unknown scan consistency {scan_consistency!r}")
 
+        # Every partition holds rows no other partition has: a scan that
+        # skipped a down node would return a silently incomplete result
+        # set, which is worse than failing.  Let NodeDownError propagate.
         partials = []
         for node_name in dict.fromkeys(meta.nodes):
-            try:
-                rows = self.cluster.network.call(
-                    "gsi-coordinator", node_name, "gsi_scan", name,
-                    low, high, inclusive_low, inclusive_high, descending,
-                    limit,
-                )
-            except NodeDownError:
-                continue
+            rows = self.cluster.network.call(
+                "gsi-coordinator", node_name, "gsi_scan", name,
+                low, high, inclusive_low, inclusive_high, descending,
+                limit,
+            )
             partials.append(rows)
         if len(partials) == 1:
             merged = list(partials[0])
@@ -313,6 +324,8 @@ class GsiCoordinator:
                             "gsi-coordinator", node_name,
                             "gsi_watermarks", meta.definition.name,
                         )
+                    # Barrier polls other replicas; a down node just cannot advance it.
+                    # repro-flow: disable-next=swallowed-exception
                     except NodeDownError:
                         continue
                     best = max(best, watermarks.get(vb, 0))

@@ -51,10 +51,17 @@ class Router:
         self.registry = registry
         self.network = network
 
-    def route(self, kv: KeyVersion) -> None:
+    def route(self, kv: KeyVersion) -> bool:
+        """Deliver the key version to every responsible indexer node.
+
+        Returns False when any target was unreachable.  The caller must
+        NOT advance its watermark past an undelivered key version --
+        dropping it here would mean the indexer never sees that seqno
+        and the index diverges from the bucket permanently (the old code
+        swallowed NodeDownError and lost the key version)."""
         meta = self.registry.get(kv.index_name)
         if meta is None:
-            return
+            return True
         if meta.definition.num_partitions == 1:
             targets = [meta.nodes[0]]
         else:
@@ -67,11 +74,13 @@ class Router:
                 targets = [meta.nodes[partition % len(meta.nodes)]]
             else:
                 targets = list(dict.fromkeys(meta.nodes))
+        delivered = True
         for target in targets:
             try:
                 self.network.call(self.node.name, target, "gsi_apply", kv)
             except NodeDownError:
-                continue
+                delivered = False
+        return delivered
 
 
 def _hash_partition(doc_id: str, partitions: int) -> int:
@@ -100,13 +109,35 @@ class Projector:
         self._sync_streams(engine)
         progressed = False
         for vbucket_id, stream in list(self._streams.items()):
+            delivered_all = True
             for message in stream.take(self.BATCH):
-                if isinstance(message, (Mutation, Deletion)):
-                    self._project(vbucket_id, message)
+                if not isinstance(message, (Mutation, Deletion)):
+                    continue
+                if self._project(vbucket_id, message):
+                    # Advance only past key versions every indexer saw.
+                    # Undelivered messages do not count as progress: the
+                    # stream is dropped and replayed below, and claiming
+                    # progress for a replay-forever loop would livelock
+                    # run_until_idle while an indexer node is down.
                     progressed = True
-            self.projected_seqnos[vbucket_id] = max(
-                self.projected_seqnos.get(vbucket_id, 0), stream.last_seqno
-            )
+                    self.projected_seqnos[vbucket_id] = max(
+                        self.projected_seqnos.get(vbucket_id, 0),
+                        message.doc.meta.seqno,
+                    )
+                else:
+                    delivered_all = False
+                    break
+            if delivered_all:
+                self.projected_seqnos[vbucket_id] = max(
+                    self.projected_seqnos.get(vbucket_id, 0),
+                    stream.last_seqno,
+                )
+            else:
+                # An indexer node was unreachable: drop the stream and
+                # let _sync_streams reopen it from the last seqno that
+                # was actually delivered, so the key version is retried
+                # instead of silently lost.
+                del self._streams[vbucket_id]
         return progressed
 
     def _sync_streams(self, engine) -> None:
@@ -123,20 +154,25 @@ class Projector:
                     vbucket_id, start_seqno=start
                 )
 
-    def _project(self, vbucket_id: int, message) -> None:
+    def _project(self, vbucket_id: int, message) -> bool:
+        """Project one mutation into key versions; True when every key
+        version reached every responsible indexer."""
         doc = message.doc
         deleted = doc.meta.deleted
+        delivered = True
         for meta in self.registry.indexes_on(self.bucket):
             if meta.state != "ready":
                 continue
             definition = meta.definition
             entries = [] if deleted else definition.entries_for(doc.value, doc.key)
-            self.router.route(KeyVersion(
+            if not self.router.route(KeyVersion(
                 index_name=definition.name,
                 bucket=self.bucket,
                 doc_id=doc.key,
                 entries=entries,
                 vbucket_id=vbucket_id,
                 seqno=doc.meta.seqno,
-            ))
+            )):
+                delivered = False
         self.node.metrics.inc("gsi.projected")
+        return delivered

@@ -11,6 +11,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..analysis import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, FORMATS
 from .engine import (
     PROFILES,
     _ConfigError,
@@ -19,7 +20,7 @@ from .engine import (
     lint_file,
     profile_for,
 )
-from .output import FORMATS, format_violation
+from .output import format_violation
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,13 +64,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.name}\n    {rule.invariant}")
-        return 0
+        return EXIT_CLEAN
     select = args.select.split(",") if args.select else None
     files = discover(args.paths)
     if not files:
         print(f"repro-lint: no Python files under {args.paths}",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     violations = []
     try:
         for path in files:
@@ -80,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
             )
     except _ConfigError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     for violation in violations:
         print(format_violation(violation, args.output_format))
     if not args.quiet:
@@ -89,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{'' if len(violations) == 1 else 's'} "
             f"in {len(files)} files"
         )
-    return 1 if violations else 0
+    return EXIT_FINDINGS if violations else EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -11,23 +11,23 @@ subclass, ``@register_rule``, yield :class:`Violation` objects.
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-#: Same-line suppression: ``x = 1  # repro-lint: disable=no-wall-clock``.
-#: ``disable-next=`` on the line *before* covers multi-line statements.
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*(disable|disable-next)\s*=\s*([a-z0-9_,\- ]+)"
+from ..analysis.harness import (  # noqa: F401  (re-exported for callers)
+    PROFILES,
+    discover,
+    module_name_for,
+    parse_suppressions,
+    profile_for,
+    suppressed,
 )
 
 #: Rules that the relaxed profile (examples/, benchmarks/) turns off:
 #: harness code legitimately measures wall-clock time and accumulates
 #: module-level result tables across test functions.
 RELAXED_EXEMPT = frozenset({"no-wall-clock", "declared-shared-state"})
-
-PROFILES = ("strict", "relaxed")
 
 
 @dataclass(frozen=True)
@@ -121,19 +121,6 @@ def all_rules() -> list[Rule]:
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
-def _parse_suppressions(source_lines: list[str]) -> dict[int, set[str]]:
-    suppressed: dict[int, set[str]] = {}
-    for index, line in enumerate(source_lines, start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        kind, names = match.groups()
-        target = index + 1 if kind == "disable-next" else index
-        rules = {name.strip() for name in names.split(",") if name.strip()}
-        suppressed.setdefault(target, set()).update(rules)
-    return suppressed
-
-
 def _type_checking_ranges(tree: ast.Module) -> list[tuple[int, int]]:
     ranges = []
     for node in ast.walk(tree):
@@ -153,19 +140,6 @@ def _type_checking_ranges(tree: ast.Module) -> list[tuple[int, int]]:
     return ranges
 
 
-def module_name_for(path: Path) -> str:
-    """Dotted module path for a file: everything from the ``repro``
-    package component down; bare stem for scripts outside the package."""
-    parts = list(path.parts)
-    name = path.stem
-    if "repro" in parts[:-1]:
-        package_parts = parts[parts.index("repro"):-1]
-        if name == "__init__":
-            return ".".join(package_parts)
-        return ".".join(package_parts + [name])
-    return name
-
-
 def build_context(source: str, path: str, module: str,
                   profile: str = "strict") -> LintContext:
     tree = ast.parse(source, filename=path)
@@ -176,7 +150,7 @@ def build_context(source: str, path: str, module: str,
         tree=tree,
         source_lines=source_lines,
         profile=profile,
-        suppressions=_parse_suppressions(source_lines),
+        suppressions=parse_suppressions(source_lines, "repro-lint"),
         type_checking_ranges=_type_checking_ranges(tree),
     )
 
@@ -192,12 +166,6 @@ def _active_rules(profile: str, select: Iterable[str] | None) -> list[Rule]:
     if profile == "relaxed":
         rules = [rule for rule in rules if rule.name not in RELAXED_EXEMPT]
     return rules
-
-
-def _is_suppressed(violation: Violation,
-                   suppressions: dict[int, set[str]]) -> bool:
-    disabled = suppressions.get(violation.line, set())
-    return violation.rule in disabled or "all" in disabled
 
 
 def lint_source(source: str, path: str = "<string>",
@@ -216,7 +184,8 @@ def lint_source(source: str, path: str = "<string>",
     findings: list[Violation] = []
     for rule in _active_rules(profile, select):
         findings.extend(rule.check(ctx))
-    findings = [v for v in findings if not _is_suppressed(v, ctx.suppressions)]
+    findings = [v for v in findings
+                if not suppressed(v.rule, v.line, ctx.suppressions)]
     findings.sort(key=lambda v: (v.line, v.col, v.rule))
     return findings
 
@@ -227,30 +196,6 @@ def lint_file(path: Path, profile: str = "strict",
     return lint_source(source, path=str(path),
                        module=module_name_for(path), profile=profile,
                        select=select)
-
-
-def discover(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    files: set[Path] = set()
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.update(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            files.add(path)
-    return sorted(files)
-
-
-def profile_for(path: Path, requested: str = "auto") -> str:
-    """``auto`` resolves per file: strict inside the ``repro`` package
-    tree (``src/repro``), relaxed for harness code outside it."""
-    if requested != "auto":
-        return requested
-    parts = path.parts
-    for index, part in enumerate(parts[:-1]):
-        if part == "src" and index + 1 < len(parts) and parts[index + 1] == "repro":
-            return "strict"
-    return "relaxed"
 
 
 def lint_paths(paths: Iterable[str | Path], profile: str = "auto",

@@ -122,10 +122,6 @@ def less(a: Any, b: Any) -> bool:
     return compare(a, b) < 0
 
 
-def less_equal(a: Any, b: Any) -> bool:
-    return compare(a, b) <= 0
-
-
 def max_value(values) -> Any:
     """Collation max of an iterable (raises on empty)."""
     iterator = iter(values)

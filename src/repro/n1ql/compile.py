@@ -86,17 +86,6 @@ def compile_expr(expr: Expr, default_alias: str | None) -> Compiled:
     return _compile(expr, default_alias)
 
 
-def compile_predicate(expr: Expr, default_alias: str | None) -> Compiled:
-    """WHERE/HAVING form: returns ``fn(env, ev) -> bool`` that is True
-    only when the expression evaluates to exactly TRUE."""
-    fn = compile_expr(expr, default_alias)
-
-    def predicate(env, ev):
-        return fn(env, ev) is True
-
-    return predicate
-
-
 # ---------------------------------------------------------------------------
 # Internals
 # ---------------------------------------------------------------------------

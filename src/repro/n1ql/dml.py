@@ -220,6 +220,8 @@ def execute_update(statement: UpdateStatement, planner: Planner,
             try:
                 client.replace(statement.keyspace, key, updated,
                                cas=current.meta.cas)
+            # CAS retry loop: re-read and re-apply on concurrent write.
+            # repro-flow: disable-next=swallowed-exception
             except CasMismatchError:
                 continue  # concurrent writer -- re-read and retry
             count += 1
@@ -249,6 +251,8 @@ def execute_delete(statement: DeleteStatement, planner: Planner,
         found, value = env.lookup(statement.alias)
         try:
             client.remove(statement.keyspace, key)
+        # DELETE of an already-deleted doc is a no-op, not an error.
+        # repro-flow: disable-next=swallowed-exception
         except KeyNotFoundError:
             continue
         count += 1

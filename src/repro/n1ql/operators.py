@@ -12,7 +12,7 @@ the two projection phases shape the final JSON.
 from __future__ import annotations
 
 import json
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from ..common.errors import KeyNotFoundError, N1qlRuntimeError
 from .collation import MISSING
@@ -39,15 +39,20 @@ from .plan import (
 )
 from .printer import print_expr
 
+if TYPE_CHECKING:
+    from ..client.smart_client import SmartClient
+    from ..server import Cluster
+
 Rows = Iterator[Env]
 
 
 class ExecutionContext:
     """Everything operators need: the cluster, parameters, consistency."""
 
-    def __init__(self, cluster, evaluator: Evaluator,
+    def __init__(self, cluster: "Cluster", evaluator: Evaluator,
                  scan_consistency: str = "not_bounded",
-                 metrics=None, scan_tokens=None, client=None):
+                 metrics=None, scan_tokens=None,
+                 client: "SmartClient | None" = None):
         self.cluster = cluster
         self.evaluator = evaluator
         self.scan_consistency = scan_consistency
@@ -62,7 +67,7 @@ class ExecutionContext:
         self._client = client
 
     @property
-    def client(self):
+    def client(self) -> "SmartClient":
         if self._client is None:
             self._client = self.cluster.connect()
         return self._client
@@ -192,7 +197,7 @@ def run_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
         op.index_name, low, high,
         inclusive_low=inclusive_low, inclusive_high=inclusive_high,
         limit=_pushed_limit(op, ctx),
-        consistency=ctx.scan_consistency,
+        scan_consistency=ctx.scan_consistency,
         mutation_tokens=ctx.scan_tokens,
     )
     ctx.count("n1ql.indexscan")
@@ -213,7 +218,13 @@ def run_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
 def _run_view_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
     from ..views.viewindex import ViewQueryParams
     low, high, inclusive_low, inclusive_high = _evaluate_span(op.span, ctx)
-    stale = "false" if ctx.scan_consistency == "request_plus" else "ok"
+    # at_plus has no token-level mapping onto a view index, so it takes
+    # the conservative stale="false" path -- at least as fresh as the
+    # mutation tokens demand.  Degrading it to "ok" would silently serve
+    # stale rows under the strongest consistency mode.
+    stale = ("false"
+             if ctx.scan_consistency in ("request_plus", "at_plus")
+             else "ok")
     params = ViewQueryParams(
         startkey=low[0] if low else None,
         endkey=high[0] if high else None,
@@ -238,7 +249,7 @@ def run_primary_scan(op: PrimaryScan, ctx: ExecutionContext) -> Rows:
     if op.using == "gsi":
         rows = ctx.cluster.gsi.scan(op.index_name,
                                     limit=_pushed_limit(op, ctx),
-                                    consistency=ctx.scan_consistency,
+                                    scan_consistency=ctx.scan_consistency,
                                     mutation_tokens=ctx.scan_tokens)
         covered = getattr(op, "covered", False)
         for _key_values, doc_id in rows:
@@ -251,7 +262,11 @@ def run_primary_scan(op: PrimaryScan, ctx: ExecutionContext) -> Rows:
             yield env
         return
     from ..views.viewindex import ViewQueryParams
-    stale = "false" if ctx.scan_consistency == "request_plus" else "ok"
+    # Same as _run_view_index_scan: at_plus on a view-backed path must
+    # not degrade below stale="false".
+    stale = ("false"
+             if ctx.scan_consistency in ("request_plus", "at_plus")
+             else "ok")
     result = ctx.cluster.views.query(
         op.keyspace, "_n1ql", op.index_name,
         ViewQueryParams(stale=stale, reduce=False),

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..common.errors import (
     IndexNotFoundError,
     N1qlSemanticError,
+    declared_raises,
 )
 from ..gsi.indexdef import IndexDefinition, primary_index
 from .catalog import Catalog, ViewIndexInfo
@@ -47,6 +48,9 @@ from .syntax import (
     SelectStatement,
     UpdateStatement,
 )
+
+if TYPE_CHECKING:
+    from ..server import Cluster
 
 
 @dataclass
@@ -182,7 +186,7 @@ class PlanCache:
 class QueryService:
     """N1QL front end on one query node."""
 
-    def __init__(self, cluster, node):
+    def __init__(self, cluster: "Cluster", node):
         self.cluster = cluster
         self.node = node
         if not hasattr(cluster, "query_catalog"):
@@ -205,6 +209,15 @@ class QueryService:
 
     # -- entry point --------------------------------------------------------------------
 
+    @declared_raises('BucketNotFoundError', 'CasMismatchError',
+                     'CorruptFileError', 'DocumentLockedError',
+                     'DurabilityError', 'DurabilityImpossibleError',
+                     'IndexExistsError', 'IndexNotFoundError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'N1qlRuntimeError', 'N1qlSemanticError',
+                     'NoSuitableIndexError', 'NodeDownError',
+                     'NotMyVBucketError', 'ServiceUnavailableError',
+                     'TemporaryFailureError', 'ValueTooLargeError')
     def query(self, text: str, params=None,
               scan_consistency: str = "not_bounded",
               consistent_with=None) -> QueryResult:
@@ -500,9 +513,10 @@ class QueryService:
     def _drop_index(self, statement: DropIndexStatement) -> QueryResult:
         try:
             self.cluster.gsi.drop_index(statement.name)
-            return QueryResult()
         except IndexNotFoundError:
-            pass
-        info = self.catalog.drop_view_index(statement.name)
-        self.cluster.drop_view(info.bucket, info.design, info.view)
+            # Not a GSI index: fall back to the view-backed catalog.  If
+            # the name is unknown there too, drop_view_index raises its
+            # own IndexNotFoundError to the caller.
+            info = self.catalog.drop_view_index(statement.name)
+            self.cluster.drop_view(info.bucket, info.design, info.view)
         return QueryResult()

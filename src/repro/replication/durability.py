@@ -99,6 +99,8 @@ class DurabilityMonitor:
                         self.client_name, node, "kv_observe",
                         bucket, vbucket_id, key,
                     )
+                # Observe keeps polling the reachable replicas.
+                # repro-flow: disable-next=swallowed-exception
                 except NodeDownError:
                     continue
                 if observed.exists and observed.cas == result.cas:

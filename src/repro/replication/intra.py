@@ -15,7 +15,12 @@ seqno 0.
 
 from __future__ import annotations
 
-from ..common.errors import NodeDownError, NotMyVBucketError, StreamRollbackRequired
+from ..common.errors import (
+    NodeDownError,
+    NotMyVBucketError,
+    StreamRollbackRequired,
+    declared_raises,
+)
 from ..common.transport import Network
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
@@ -35,6 +40,7 @@ class IntraReplicator:
         self._streams: dict[tuple[int, str], DcpStream] = {}
         self._map_revision = -1
 
+    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
     def pump(self) -> bool:
         """One scheduler round: refresh topology if needed, then forward
         one batch per stream.  Returns True if any mutation moved."""

@@ -17,8 +17,14 @@ import argparse
 import os
 import sys
 
+from ..analysis import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    FORMATS,
+    github_annotation,
+)
 from ..common.errors import InvalidArgumentError
-from ..lint.output import FORMATS, github_annotation
 from .oracle import ScenarioReport, explore, policy_matrix
 from .scenarios import get_scenarios
 
@@ -116,7 +122,7 @@ def main(argv: list[str] | None = None) -> int:
             for scenario in get_scenarios(None, include_fixtures=True):
                 marker = " [fixture]" if scenario.expect_findings else ""
                 print(f"{scenario.name}{marker}\n    {scenario.description}")
-            return 0
+            return EXIT_CLEAN
         if args.fixtures:
             if args.scenario is not None:
                 raise InvalidArgumentError(
@@ -129,7 +135,7 @@ def main(argv: list[str] | None = None) -> int:
             scenarios = get_scenarios(names)
     except InvalidArgumentError as exc:
         print(f"repro-sanitize: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if not args.quiet:
         print(
@@ -151,14 +157,14 @@ def main(argv: list[str] | None = None) -> int:
             f"regression): {', '.join(undetected)}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     if not args.quiet:
         print(
             f"repro-sanitize: {findings} finding"
             f"{'' if findings == 1 else 's'} "
             f"in {len(scenarios)} scenario{'' if len(scenarios) == 1 else 's'}"
         )
-    return 1 if findings else 0
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -169,7 +169,7 @@ def _run_views_gsi(policy: SchedulePolicy) -> RunOutcome:
         client.upsert("b", f"k{i}", {"i": i + 100, "g": i % 4})
     cluster.run_until_idle()
     view_rows = cluster.views.query("b", "dd", "by_g", stale="false").rows
-    gsi_rows = cluster.gsi.scan("by_i", consistency="request_plus")
+    gsi_rows = cluster.gsi.scan("by_i", scan_consistency="request_plus")
     return _outcome(("ix", cluster), observations={
         "view": [[row["key"], row["value"], row["id"]] for row in view_rows],
         "gsi": [[key, doc_id] for key, doc_id in gsi_rows],

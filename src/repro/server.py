@@ -14,18 +14,22 @@ builds a service-segregated topology.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from .client.smart_client import SmartClient
 from .cluster.cluster_map import ClusterMap
 from .cluster.manager import ClusterManager
 from .cluster.node import Node
 from .cluster.rebalance import Rebalancer
-from .cluster.services import BucketConfig, Service
+from .common.services import BucketConfig, Service
 from .common.clock import VirtualClock
 from .common.errors import ServiceUnavailableError
 from .common.scheduler import Scheduler
 from .common.transport import Network
+
+if TYPE_CHECKING:
+    from .gsi.manager import GsiCoordinator
+    from .views.query import ViewQueryCoordinator
 
 _ALL = {Service.DATA, Service.INDEX, Service.QUERY}
 
@@ -152,14 +156,14 @@ class Cluster:
             self.network.call("admin", name, "view_drop", bucket, design, view)
 
     @property
-    def views(self):
+    def views(self) -> "ViewQueryCoordinator":
         from .views.query import ViewQueryCoordinator
         return ViewQueryCoordinator(self)
 
     # -- global secondary indexes (sections 3.3, 4.3.4) --------------------------------------
 
     @property
-    def gsi(self):
+    def gsi(self) -> "GsiCoordinator":
         from .gsi.manager import GsiCoordinator
         return GsiCoordinator(self)
 

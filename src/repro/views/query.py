@@ -23,11 +23,14 @@ from __future__ import annotations
 
 import heapq
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from ..common.errors import NodeDownError, TimeoutError_, ViewNotFoundError
+from ..common.errors import TimeoutError_, ViewNotFoundError
 from ..n1ql.collation import sort_key
 from .viewindex import ViewQueryParams
+
+if TYPE_CHECKING:
+    from ..server import Cluster
 
 
 class ViewResult:
@@ -49,7 +52,7 @@ class ViewResult:
 class ViewQueryCoordinator:
     """Cluster-level view querying."""
 
-    def __init__(self, cluster):
+    def __init__(self, cluster: "Cluster"):
         self.cluster = cluster
 
     def _data_nodes(self):
@@ -88,17 +91,20 @@ class ViewQueryCoordinator:
             if not self.cluster.scheduler.run_until(caught_up):
                 raise TimeoutError_("stale=false wait did not converge")
 
+        # Scatter to every data node hosting the bucket, down or not:
+        # each holds vbuckets no other node serves, so skipping one
+        # would silently drop its rows from the result.  A down node
+        # makes network.call raise NodeDownError to the caller.
         partials = []
-        for node in self._data_nodes():
+        manager = self.cluster.manager
+        for name in manager.data_nodes():
+            node = manager.nodes[name]
             if bucket not in node.view_engines:
                 continue
-            try:
-                partial = self.cluster.network.call(
-                    "view-coordinator", node.name, "view_query_local",
-                    bucket, design, view, params,
-                )
-            except NodeDownError:
-                continue
+            partial = self.cluster.network.call(
+                "view-coordinator", node.name, "view_query_local",
+                bucket, design, view, params,
+            )
             partials.append(partial)
         self.cluster.network.calls[("view-coordinator", "scatter_gather")] += 1
         return self._merge(definition, partials, params)

@@ -31,6 +31,7 @@ from ..common.errors import (
     LivelockError,
     NodeDownError,
     NotMyVBucketError,
+    declared_raises,
 )
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
@@ -64,6 +65,8 @@ class XdcrReplication:
 
     # -- the pump ------------------------------------------------------------------
 
+    @declared_raises('CorruptFileError', 'InvalidArgumentError',
+                     'KeyNotFoundError', 'TemporaryFailureError')
     def pump(self) -> bool:
         if self.paused:
             return False
@@ -117,6 +120,8 @@ class XdcrReplication:
                 self._streams[(node_name, vbucket_id)] = producer.stream_request(
                     vbucket_id, start_seqno=0, allow_replica=False,
                 )
+            # Vbucket moved mid-sweep; next pump re-derives streams.
+            # repro-flow: disable-next=swallowed-exception
             except NotMyVBucketError:
                 continue
 

@@ -10,7 +10,7 @@ from repro.common.errors import (
     DurabilityImpossibleError,
     NoQuorumError,
 )
-from repro.cluster.services import Service
+from repro.common.services import Service
 from repro.kv.engine import VBucketState
 
 

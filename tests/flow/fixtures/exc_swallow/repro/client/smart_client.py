@@ -1,0 +1,17 @@
+"""Broken fixture: a handler swallows KeyNotFoundError with a bare
+pass (expected: swallowed-exception)."""
+
+from ..common.errors import KeyNotFoundError
+
+
+def _lookup(key):
+    raise KeyNotFoundError(key)
+
+
+class SmartClient:
+    def get_quietly(self, key):
+        try:
+            return _lookup(key)
+        except KeyNotFoundError:
+            pass
+        return None

@@ -1,0 +1,9 @@
+"""Fixture error taxonomy."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class KeyNotFoundError(ReproError):
+    pass

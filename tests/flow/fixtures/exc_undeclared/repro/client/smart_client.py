@@ -1,0 +1,13 @@
+"""Broken fixture: a public client method lets KeyNotFoundError escape
+without an @declared_raises contract (expected: exception-escape)."""
+
+from ..common.errors import KeyNotFoundError
+
+
+def _lookup(key):
+    raise KeyNotFoundError(key)
+
+
+class SmartClient:
+    def get(self, key):
+        return _lookup(key)

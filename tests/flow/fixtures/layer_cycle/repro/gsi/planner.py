@@ -1,0 +1,8 @@
+"""Broken fixture, half one: eagerly imports its own importer
+(expected: import-cycle)."""
+
+from .scanner import run_scan
+
+
+def plan(name):
+    return run_scan(name)

@@ -1,0 +1,8 @@
+"""Broken fixture, half two: eagerly imports its own importer
+(expected: import-cycle)."""
+
+from .planner import plan
+
+
+def run_scan(name):
+    return plan(name)

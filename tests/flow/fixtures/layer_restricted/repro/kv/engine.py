@@ -1,0 +1,6 @@
+"""Fixture engine module (import-restricted)."""
+
+
+class KVEngine:
+    def get(self, key):
+        return key

@@ -1,0 +1,8 @@
+"""Broken fixture: n1ql reaches into the node-local engine instead of
+going through the fabric (expected: layer-restricted)."""
+
+from ..kv.engine import KVEngine
+
+
+def scan_all():
+    return KVEngine().get("k")

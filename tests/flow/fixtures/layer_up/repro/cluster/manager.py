@@ -1,0 +1,6 @@
+"""Fixture upper layer (rank 5)."""
+
+
+class ClusterManager:
+    def nodes(self):
+        return []

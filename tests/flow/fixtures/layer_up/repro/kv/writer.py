@@ -1,0 +1,8 @@
+"""Broken fixture: the kv layer (rank 2) imports the cluster layer
+(rank 5) -- an upward import (expected: layer-violation)."""
+
+from ..cluster.manager import ClusterManager
+
+
+def managed_write(key, value):
+    return (ClusterManager(), key, value)

@@ -1,0 +1,9 @@
+"""Broken fixture: dispatches on scan_consistency but never handles
+at_plus, silently degrading the stronger mode (expected:
+option-domain)."""
+
+
+def run_scan(scan_consistency="not_bounded"):
+    if scan_consistency == "request_plus":
+        return "barrier"
+    return "immediate"

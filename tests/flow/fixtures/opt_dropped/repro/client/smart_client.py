@@ -1,0 +1,11 @@
+"""Broken fixture: the caller takes replicate_to and the callee accepts
+it, but the call does not pass it on (expected: option-dropped)."""
+
+
+def _store(key, value, replicate_to=0):
+    return (key, value, replicate_to)
+
+
+class SmartClient:
+    def upsert(self, key, value, replicate_to=0):
+        return _store(key, value)

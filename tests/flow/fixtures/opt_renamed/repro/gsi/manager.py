@@ -1,0 +1,11 @@
+"""Broken fixture: scan_consistency is handed to a public callee under
+a different parameter name (expected: option-renamed)."""
+
+
+def run_scan(name, consistency="not_bounded"):
+    return (name, consistency)
+
+
+class Coordinator:
+    def scan(self, name, scan_consistency="not_bounded"):
+        return run_scan(name, consistency=scan_consistency)

@@ -1,0 +1,86 @@
+"""Every broken fixture must fail with exactly its intended check, and
+the tree itself must analyze clean -- the tier-1 gate that keeps the
+flow invariants true going forward, mirroring the CI ``repro-flow``
+step (and the shape of ``tests/lint/test_tree_clean.py``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.flow.callgraph import build_callgraph
+from repro.flow.cli import main
+from repro.flow.excflow import analyze_exceptions
+from repro.flow.layers import analyze_layers
+from repro.flow.options import analyze_options
+from repro.flow.project import Project
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+#: fixture directory -> the single check its defect must trip.
+EXPECTED = {
+    "exc_undeclared": "exception-escape",
+    "exc_swallow": "swallowed-exception",
+    "exc_pump": "exception-escape",
+    "opt_dropped": "option-dropped",
+    "opt_renamed": "option-renamed",
+    "opt_domain": "option-domain",
+    "layer_up": "layer-violation",
+    "layer_restricted": "layer-restricted",
+    "layer_cycle": "import-cycle",
+}
+
+
+def test_every_fixture_is_covered():
+    assert sorted(EXPECTED) == sorted(
+        p.name for p in FIXTURES.iterdir() if p.is_dir()
+    )
+
+
+@pytest.mark.parametrize("fixture,check", sorted(EXPECTED.items()))
+def test_fixture_fails_with_its_intended_check(fixture, check, capsys):
+    code = main([str(FIXTURES / fixture), "--profile", "strict"])
+    out = capsys.readouterr().out
+    assert code == 1, out
+    finding_lines = [
+        line for line in out.splitlines()
+        if line and not line.startswith("repro-flow:")
+    ]
+    assert finding_lines, out
+    assert all(f" {check}: " in line for line in finding_lines), out
+
+
+def _tree_findings():
+    files = sorted((REPO_ROOT / "src" / "repro").rglob("*.py"))
+    project = Project.build(files)
+    assert not project.parse_errors
+    graph = build_callgraph(project)
+    return (list(analyze_exceptions(graph).findings)
+            + list(analyze_options(graph))
+            + list(analyze_layers(project)), project)
+
+
+def test_repro_package_is_strictly_clean():
+    findings, project = _tree_findings()
+    from repro.analysis import suppressed
+
+    def kept(finding):
+        module = next(
+            (m for m in project.modules.values() if m.path == finding.path),
+            None,
+        )
+        return module is None or not suppressed(
+            finding.check, finding.line, module.suppressions
+        )
+
+    remaining = [f for f in findings if kept(f)]
+    assert remaining == [], "\n".join(f.format() for f in remaining)
+
+
+def test_tree_clean_through_the_cli(capsys):
+    code = main([str(REPO_ROOT / "src" / "repro"), "--profile", "strict"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert out.startswith("repro-flow: 0 findings"), out

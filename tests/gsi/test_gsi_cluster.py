@@ -176,7 +176,7 @@ class TestScanConsistency:
         vb = engine.owned_vbuckets()[0]
         engine.upsert(vb, "direct", {"age": 99})
         rows = cluster.gsi.scan("by_age", low=[99], high=[99],
-                                consistency="not_bounded")
+                                scan_consistency="not_bounded")
         assert rows == []
 
     def test_request_plus_sees_all_prior_writes(self, cluster, client):
@@ -185,13 +185,13 @@ class TestScanConsistency:
         vb = engine.owned_vbuckets()[0]
         engine.upsert(vb, "direct", {"age": 99})
         rows = cluster.gsi.scan("by_age", low=[99], high=[99],
-                                consistency="request_plus")
+                                scan_consistency="request_plus")
         assert [d for _, d in rows] == ["direct"]
 
     def test_unknown_consistency_rejected(self, cluster, client):
         cluster.create_index(attribute_index("by_age", "b", "age"))
         with pytest.raises(ValueError):
-            cluster.gsi.scan("by_age", consistency="linearizable")
+            cluster.gsi.scan("by_age", scan_consistency="linearizable")
 
 
 class TestPartitionedIndex:
@@ -213,7 +213,7 @@ class TestPartitionedIndex:
         load(client)
         cluster.run_until_idle()
         self.make_partitioned(cluster)
-        rows = cluster.gsi.scan("part", consistency="request_plus")
+        rows = cluster.gsi.scan("part", scan_consistency="request_plus")
         names = [key[0] for key, _ in rows]
         assert len(names) == 30
         assert names == sorted(names)
@@ -222,10 +222,10 @@ class TestPartitionedIndex:
         self.make_partitioned(cluster)
         load(client, 12)
         cluster.run_until_idle()
-        assert len(cluster.gsi.scan("part", consistency="request_plus")) == 12
+        assert len(cluster.gsi.scan("part", scan_consistency="request_plus")) == 12
         client.remove("b", "u3")
         cluster.run_until_idle()
-        rows = cluster.gsi.scan("part", consistency="request_plus")
+        rows = cluster.gsi.scan("part", scan_consistency="request_plus")
         assert len(rows) == 11
 
 
@@ -236,7 +236,7 @@ class TestMemoptIndex:
             attribute_index("fast", "b", "age", storage="memopt")
         )
         rows = cluster.gsi.scan("fast", low=[25], high=[26],
-                                consistency="request_plus")
+                                scan_consistency="request_plus")
         assert all(key[0] in (25, 26) for key, _ in rows)
 
     def test_memopt_keeps_up_with_writes(self, cluster, client):
@@ -267,7 +267,7 @@ class TestMds:
             client.upsert("b", f"k{i}", {"age": i})
         meta = cluster.create_index(attribute_index("byage", "b", "age"))
         assert meta.nodes == ["i1"]
-        assert len(cluster.gsi.scan("byage", consistency="request_plus")) == 10
+        assert len(cluster.gsi.scan("byage", scan_consistency="request_plus")) == 10
 
 
 class TestTopology:
@@ -278,7 +278,7 @@ class TestTopology:
         cluster.rebalance()
         client.upsert("b", "fresh", {"age": 25})
         cluster.run_until_idle()
-        rows = cluster.gsi.scan("by_age", consistency="request_plus")
+        rows = cluster.gsi.scan("by_age", scan_consistency="request_plus")
         assert len(rows) == 31
 
     def test_index_maintained_after_failover(self, cluster, client):
@@ -289,5 +289,5 @@ class TestTopology:
         cluster.failover("node3")
         client.upsert("b", "fresh", {"age": 25})
         cluster.run_until_idle()
-        rows = cluster.gsi.scan("by_age", consistency="request_plus")
+        rows = cluster.gsi.scan("by_age", scan_consistency="request_plus")
         assert len(rows) == 31

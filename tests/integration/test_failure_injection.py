@@ -6,6 +6,7 @@ import pytest
 from repro import Cluster
 from repro.common.errors import (
     DurabilityError,
+    NodeDownError,
     ServiceUnavailableError,
 )
 from repro.kv.engine import VBucketState
@@ -146,10 +147,11 @@ class TestServiceLoss:
             client.upsert("b", f"k{i}", {"v": i})
         cluster.query("CREATE INDEX by_v ON b(v) USING GSI")
         cluster.network.set_down("i1")
-        # Scans fan out to reachable index nodes; with the only one down
-        # the scan returns nothing rather than crashing.
-        rows = cluster.gsi.scan("by_v")
-        assert rows == []
+        # Every partition holds rows no other node serves: a scan that
+        # skipped the down node would silently return an incomplete (here
+        # empty) result set.  It must fail instead.
+        with pytest.raises(NodeDownError):
+            cluster.gsi.scan("by_v")
 
 
 class TestNodeCrashRecovery:

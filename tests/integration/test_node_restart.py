@@ -106,7 +106,7 @@ class TestServiceRebuildOnRestart:
         meta = cluster.manager.index_registry.require("by_i")
         index_host = meta.nodes[0]
         cluster.restart_node(index_host)
-        rows = cluster.gsi.scan("by_i", consistency="request_plus")
+        rows = cluster.gsi.scan("by_i", scan_consistency="request_plus")
         assert len(rows) == 20
 
     def test_gsi_stays_fresh_after_restart(self, cluster, client):
@@ -116,7 +116,7 @@ class TestServiceRebuildOnRestart:
         cluster.restart_node("node1")
         cluster.restart_node("node2")
         client.upsert("b", "b2", {"i": 2})
-        rows = cluster.gsi.scan("by_i", consistency="request_plus")
+        rows = cluster.gsi.scan("by_i", scan_consistency="request_plus")
         assert len(rows) == 2
 
     def test_replica_rebuilt_after_restart(self):

@@ -139,10 +139,10 @@ class TestExpiryPagerCluster:
         client.upsert("b", "ephemeral", {"v": 7}, expiry=now + 10.0)
         cluster.run_until_idle()
         assert len(cluster.gsi.scan("by_v", low=[7], high=[7],
-                                    consistency="request_plus")) == 1
+                                    scan_consistency="request_plus")) == 1
         cluster.tick(120.0)  # pager fires (interval 30s) well past expiry
         rows = cluster.gsi.scan("by_v", low=[7], high=[7],
-                                consistency="request_plus")
+                                scan_consistency="request_plus")
         assert rows == []
 
     def test_expiry_propagates_to_replicas(self):

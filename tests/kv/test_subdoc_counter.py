@@ -134,5 +134,5 @@ class TestMutateIn:
         client.upsert("b", "user", {"name": "x"})
         client.mutate_in("b", "user", [("set", "age", 33)])
         rows = cluster.gsi.scan("by_age", low=[33], high=[33],
-                                consistency="request_plus")
+                                scan_consistency="request_plus")
         assert [doc_id for _k, doc_id in rows] == ["user"]

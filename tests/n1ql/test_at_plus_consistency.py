@@ -86,6 +86,6 @@ class TestAtPlus:
         node = cluster.node(cluster_map.active_node(vb))
         token = node.engines["b"].upsert(vb, "direct", {"v": 888})
         rows = cluster.gsi.scan("by_v", low=[888], high=[888],
-                                consistency="at_plus",
+                                scan_consistency="at_plus",
                                 mutation_tokens=[token])
         assert [doc_id for _k, doc_id in rows] == ["direct"]

@@ -10,7 +10,7 @@ makes sure neither cached nor prepared plans survive index/keyspace DDL.
 import pytest
 
 from repro import Cluster
-from repro.cluster.services import Service
+from repro.common.services import Service
 from repro.n1ql.planner import referenced_paths
 from repro.n1ql.parser import parse
 

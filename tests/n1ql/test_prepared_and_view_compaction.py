@@ -61,7 +61,7 @@ class TestPreparedStatements:
         cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
         cluster.query("PREPARE stable FROM SELECT x.name FROM b x "
                       "WHERE x.name = 'n01'")
-        from repro.cluster.services import Service
+        from repro.common.services import Service
         service = cluster.service_node(Service.QUERY).query_service
         plan_before = service.prepared["stable"][1]
         assert type(plan_before.operators[0]).__name__ == "PrimaryScan"
@@ -79,7 +79,7 @@ class TestPreparedStatements:
         cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
         cluster.query("PREPARE hotpath FROM SELECT x.name FROM b x "
                       "WHERE x.name = 'n01'")
-        from repro.cluster.services import Service
+        from repro.common.services import Service
         service = cluster.service_node(Service.QUERY).query_service
         plan_before = service.prepared["hotpath"][1]
         assert type(plan_before.operators[0]).__name__ == "PrimaryScan"
@@ -100,7 +100,7 @@ class TestPreparedStatements:
         both sides identical -- clear it each round so the ad-hoc loop
         really pays for parse+plan."""
         import time
-        from repro.cluster.services import Service
+        from repro.common.services import Service
         service = cluster.service_node(Service.QUERY).query_service
         cluster.query("PREPARE speed FROM SELECT x.name FROM b x "
                       "WHERE x.age = $1")

@@ -459,7 +459,7 @@ class TestDdlThroughN1ql:
             "CREATE INDEX by_cat ON profiles"
             "(DISTINCT ARRAY c FOR c IN categories END) USING GSI")
         rows = cluster.gsi.scan("by_cat", low=["all"], high=["all"],
-                                consistency="request_plus")
+                                scan_consistency="request_plus")
         assert len(rows) == 40
         cluster.query("DROP INDEX by_cat")
 
