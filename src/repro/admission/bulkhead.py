@@ -1,0 +1,47 @@
+"""Per-service bulkhead compartments.
+
+The bulkhead pattern partitions capacity by service class so one class's
+storm cannot sink the others: every client is tagged with the service it
+serves (``kv`` for application SDK handles, ``n1ql`` for the query
+engine's internal data traffic), and all of a class's work draws on that
+class's compartment.  An N1QL scan storm then exhausts the *n1ql*
+compartment -- its queries get shed -- while KV point ops keep flowing
+through their own, untouched compartment.
+
+A compartment caps in-flight entries (nesting depth in this cooperative
+simulator: a query holding a slot while its fetches run) and delegates
+rate capping to a per-compartment :class:`~repro.admission.tokens.TokenBucket`
+owned by the controller.  There is no queue: a full compartment rejects,
+which is the point.
+"""
+
+from __future__ import annotations
+
+
+class Bulkhead:
+    """One named compartment: bounded concurrent occupancy."""
+
+    def __init__(self, name: str, max_inflight: int | None = None):
+        self.name = name
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.rejected = 0
+
+    @property
+    def full(self) -> bool:
+        return (self.max_inflight is not None
+                and self.inflight >= self.max_inflight)
+
+    def try_enter(self) -> bool:
+        """Claim a slot; the caller must invoke :meth:`exit` exactly once
+        per successful entry (use try/finally)."""
+        if self.full:
+            self.rejected += 1
+            return False
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        return True
+
+    def exit(self) -> None:
+        self.inflight -= 1

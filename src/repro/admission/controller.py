@@ -1,0 +1,315 @@
+"""The admission-control front door.
+
+One :class:`AdmissionController` per cluster sits between the clients
+and the fabric and decides, before any work is done, whether a request
+may enter.  It composes the pieces of this package:
+
+* **token buckets** -- per-tenant (client handle) and per-service rate
+  budgets refilled on the virtual clock;
+* **bulkheads** -- per-service compartments (``kv`` vs ``n1ql``) so a
+  scan storm exhausts only its own compartment;
+* **circuit breakers** -- one per data node, tripped by pressure-tagged
+  ``TemporaryFailureError`` outcomes, so saturated nodes see cheap
+  rejections instead of retry storms;
+* **backpressure** -- the engine's TMPFAIL metadata (flusher backlog,
+  memory ratio, retry hint) feeds a decaying per-node pressure score
+  that drives the degradation order: **shed N1QL before KV**.  Queries
+  are refused at :meth:`admit_query` while the data path is elevated;
+  KV point ops are only ever refused by their own budgets or an open
+  breaker.
+
+Everything is deterministic: time is the scheduler's virtual clock,
+jitter comes from seeded ``random.Random`` streams, and the decay math
+is a pure function of (score, elapsed virtual time).  Rejections raise
+:class:`~repro.common.errors.AdmissionRejectedError`, a subclass of
+``TemporaryFailureError``, so existing ``@declared_raises`` contracts
+already cover the front door.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..common.crc import crc32
+from ..common.errors import AdmissionRejectedError, declared_raises
+from ..common.metrics import MetricsRegistry
+from ..common.scheduler import Scheduler
+from .breaker import CLOSED, CircuitBreaker
+from .bulkhead import Bulkhead
+from .tokens import ExponentialBackoff, TokenBucket
+
+#: Registered mutable module state (declared-shared-state lint rule):
+#: monotonic controller-id source, mixed into each controller's seeds so
+#: two clusters in one process never share jitter streams.
+__shared_state__ = ("_controller_ids",)
+
+_controller_ids = itertools.count(1)
+
+#: Prime seed mixer (same idiom as the scheduler's policy seeding).
+_SEED_MIX = 1_000_003
+
+
+@dataclass
+class AdmissionConfig:
+    """Tuning knobs; the defaults are deliberately permissive (no rate
+    caps, no inflight caps) so admission control is pure observability
+    until a deployment opts into limits -- breakers and backpressure are
+    always on."""
+
+    #: Per-tenant token rate (ops per virtual second) and burst; None
+    #: disables tenant throttling.
+    tenant_rate: float | None = None
+    tenant_burst: float | None = None
+    #: Per-service (rate, burst) budgets, e.g. {"n1ql": (50.0, 10.0)}.
+    service_rates: dict = field(default_factory=dict)
+    #: Per-service in-flight caps, e.g. {"n1ql": 4}.
+    service_inflight: dict = field(default_factory=dict)
+    #: Per-node in-flight cap enforced at the fabric dispatch point.
+    node_inflight: int | None = None
+    #: Breaker: consecutive overload failures before opening, initial
+    #: cooldown, growth factor, and cap (virtual seconds).
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 0.25
+    breaker_factor: float = 2.0
+    breaker_max_cooldown: float = 30.0
+    #: Client backoff ladder under overload.
+    backoff_base: float = 0.005
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.25
+    #: Bounded scheduler rounds granted per backoff so the flusher/pager
+    #: make progress without the old full-cluster quiesce.
+    relief_steps: int = 2
+    #: Pressure-score half-life (virtual seconds) and the score at which
+    #: the degradation policy starts shedding N1QL.
+    pressure_half_life: float = 0.5
+    shed_threshold: float = 1.0
+    seed: int = 101
+
+
+class AdmissionController:
+    """Front door shared by every client of one cluster."""
+
+    def __init__(self, scheduler: Scheduler, *,
+                 config: AdmissionConfig | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self.scheduler = scheduler
+        self.clock = scheduler.clock
+        self.config = config if config is not None else AdmissionConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.controller_id = next(_controller_ids)
+        seed = self.config.seed * _SEED_MIX + self.controller_id
+        self._backoff = ExponentialBackoff(
+            base=self.config.backoff_base,
+            factor=self.config.backoff_factor,
+            max_delay=self.config.backoff_max,
+            seed=seed,
+        )
+        self._tenants: dict[str, TokenBucket] = {}
+        self._services: dict[str, tuple[TokenBucket, Bulkhead]] = {}
+        self._nodes: dict[str, Bulkhead] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: client name -> service class; only registered (client) traffic
+        #: is subject to fabric-level admission -- internal pumps
+        #: (replication, projector, XDCR) are never shed.
+        self._clients: dict[str, str] = {}
+        #: node -> (decaying overload score, virtual time of last update).
+        self._pressure: dict[str, tuple[float, float]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register_client(self, name: str, service: str) -> None:
+        self._clients[name] = service
+
+    # -- lazily-built parts ------------------------------------------------
+
+    def _tenant_bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._tenants.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.clock, self.config.tenant_rate,
+                                 self.config.tenant_burst)
+            self._tenants[tenant] = bucket
+        return bucket
+
+    def _service_slot(self, service: str) -> tuple[TokenBucket, Bulkhead]:
+        slot = self._services.get(service)
+        if slot is None:
+            rate, burst = self.config.service_rates.get(service, (None, None))
+            slot = (
+                TokenBucket(self.clock, rate, burst),
+                Bulkhead(service, self.config.service_inflight.get(service)),
+            )
+            self._services[service] = slot
+        return slot
+
+    def _node_bulkhead(self, node: str) -> Bulkhead:
+        bulkhead = self._nodes.get(node)
+        if bulkhead is None:
+            bulkhead = Bulkhead(node, self.config.node_inflight)
+            self._nodes[node] = bulkhead
+        return bulkhead
+
+    def breaker(self, node: str) -> CircuitBreaker:
+        """The circuit breaker guarding RPCs to ``node``."""
+        breaker = self._breakers.get(node)
+        if breaker is None:
+            seed = (self.config.seed * _SEED_MIX + self.controller_id) \
+                * _SEED_MIX + crc32(node.encode("utf-8"))
+            breaker = CircuitBreaker(
+                node, self.scheduler,
+                threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
+                factor=self.config.breaker_factor,
+                max_cooldown=self.config.breaker_max_cooldown,
+                seed=seed, metrics=self.metrics,
+            )
+            self._breakers[node] = breaker
+        return breaker
+
+    # -- admission ---------------------------------------------------------
+
+    @declared_raises('AdmissionRejectedError')
+    def acquire(self, service: str, tenant: str, ops: int = 1
+                ) -> Callable[[], None] | None:
+        """Admit ``ops`` operations for ``tenant`` on the ``service``
+        compartment, or shed them.  Returns the compartment release
+        callback (call exactly once, in a finally) or None when nothing
+        was claimed."""
+        self.metrics.inc("admission.requests", ops)
+        tenant_bucket = self._tenant_bucket(tenant)
+        if not tenant_bucket.try_acquire(ops):
+            self.metrics.inc("admission.tenant.shed", ops)
+            raise AdmissionRejectedError(
+                f"tenant {tenant!r} over its rate budget",
+                retry_after=tenant_bucket.deficit_delay(ops),
+            )
+        bucket, bulkhead = self._service_slot(service)
+        if not bucket.try_acquire(ops):
+            self._count_shed(service, ops)
+            raise AdmissionRejectedError(
+                f"{service} service over its rate budget",
+                retry_after=bucket.deficit_delay(ops),
+            )
+        if not bulkhead.try_enter():
+            self._count_shed(service, ops)
+            raise AdmissionRejectedError(
+                f"{service} bulkhead full "
+                f"({bulkhead.inflight}/{bulkhead.max_inflight} in flight)"
+            )
+        return bulkhead.exit
+
+    @declared_raises('AdmissionRejectedError')
+    def admit_query(self, tenant: str = "n1ql") -> Callable[[], None] | None:
+        """The query front door.  Degradation is ordered shed-N1QL-
+        before-KV: whenever the data path reports overload (pressure
+        score past threshold, or any breaker not closed) new queries are
+        refused here, while KV point ops keep flowing."""
+        if self.overloaded():
+            self._count_shed("n1ql", 1)
+            raise AdmissionRejectedError(
+                "query shed: data service under memory pressure",
+                retry_after=self.config.breaker_cooldown,
+            )
+        return self.acquire("n1ql", tenant)
+
+    def _count_shed(self, service: str, ops: int) -> None:
+        if service == "n1ql":
+            self.metrics.inc("admission.n1ql.shed", ops)
+        else:
+            self.metrics.inc("admission.kv.shed", ops)
+
+    # -- fabric hook -------------------------------------------------------
+
+    @declared_raises('AdmissionRejectedError')
+    def fabric_filter(self, src: str, dst: str, method: str
+                      ) -> Callable[[], None] | None:
+        """Installed as ``Network.call_filter``: runs before every
+        dispatch.  Only traffic from registered clients is subject to
+        admission; pump traffic (replication, projector, XDCR, manager)
+        passes untouched.  Enforces the per-node in-flight bulkhead."""
+        if src not in self._clients:
+            return None
+        self.metrics.inc("admission.fabric.calls")
+        if self.config.node_inflight is None:
+            return None
+        bulkhead = self._node_bulkhead(dst)
+        if not bulkhead.try_enter():
+            self.metrics.inc("admission.fabric.shed")
+            raise AdmissionRejectedError(
+                f"node {dst!r} at in-flight capacity "
+                f"({bulkhead.max_inflight})"
+            )
+        return bulkhead.exit
+
+    # -- backpressure ------------------------------------------------------
+
+    def note_overload(self, node: str, error: Exception | None = None) -> None:
+        """Record a pressure-tagged temporary failure from ``node``; the
+        score decays with virtual time so old incidents stop shedding."""
+        now = self.clock.now()
+        score = self._decayed_score(node, now)
+        self._pressure[node] = (score + 1.0, now)
+        self.metrics.inc("admission.overload_signals")
+
+    def _decayed_score(self, node: str, now: float) -> float:
+        score, last = self._pressure.get(node, (0.0, now))
+        if score <= 0.0:
+            return 0.0
+        elapsed = max(0.0, now - last)
+        return score * 0.5 ** (elapsed / self.config.pressure_half_life)
+
+    def pressure_score(self) -> float:
+        """Cluster-wide pressure: the hottest node's decayed score."""
+        now = self.clock.now()
+        return max(
+            (self._decayed_score(node, now) for node in self._pressure),
+            default=0.0,
+        )
+
+    def overloaded(self) -> bool:
+        """True while the degradation policy should shed N1QL."""
+        if self.pressure_score() >= self.config.shed_threshold:
+            return True
+        return any(b.state != CLOSED for b in self._breakers.values())
+
+    @declared_raises('InvalidArgumentError')
+    def backoff(self, attempt: int, hint: float | None = None) -> None:
+        """Client-side reaction to one overload failure: a *bounded*
+        number of scheduler rounds so the flusher and pager make
+        progress, then an exponential-with-jitter virtual-time sleep
+        (stretched to the server's ``retry_after`` hint).  This replaces
+        the old ``run_until_idle()`` full-cluster quiesce per retry.
+
+        Declared: driving the scheduler surfaces its policy-permutation
+        guard (``InvalidArgumentError``) if a schedule policy is buggy."""
+        for _ in range(self.config.relief_steps):
+            if not self.scheduler.step():
+                break
+        delay = self._backoff.delay(attempt)
+        if hint is not None:
+            delay = max(delay, hint)
+        self.metrics.inc("admission.backoffs")
+        self.metrics.observe("admission.backoff_seconds", delay)
+        self.scheduler.advance(delay)
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        now = self.clock.now()
+        return {
+            "pressure": {
+                node: round(self._decayed_score(node, now), 4)
+                for node in sorted(self._pressure)
+            },
+            "breakers": {
+                node: breaker.state
+                for node, breaker in sorted(self._breakers.items())
+            },
+            "bulkheads": {
+                name: {"inflight": bh.inflight, "peak": bh.peak_inflight,
+                       "rejected": bh.rejected}
+                for name, (_bucket, bh) in sorted(self._services.items())
+            },
+            "metrics": self.metrics.snapshot(),
+        }

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from ..common.document import Document
 from ..common.errors import (
+    AdmissionRejectedError,
     BucketNotFoundError,
     declared_raises,
     NotConnectedError,
@@ -39,6 +40,7 @@ from ..kv.types import MutationResult
 from ..replication.durability import DurabilityMonitor, DurabilityRequirement
 
 if TYPE_CHECKING:
+    from ..admission.controller import AdmissionController
     from ..server import Cluster
 
 #: Process-wide client-id source: ids stay unique across clusters in
@@ -94,13 +96,23 @@ class SmartClient:
     #: and view APIs route through the owning facade.
     cluster: "Cluster | None" = None
 
-    def __init__(self, manager, network: Network, scheduler: Scheduler):
+    def __init__(self, manager, network: Network, scheduler: Scheduler,
+                 admission: "AdmissionController | None" = None,
+                 service: str = "kv"):
         self.manager = manager
         self.network = network
         self.scheduler = scheduler
+        #: The cluster's admission controller; None means legacy behavior
+        #: (unprotected retry spin) -- kept for the ablation benchmark.
+        self.admission = admission
+        #: Service class for bulkhead attribution: "kv" for application
+        #: handles, "n1ql" for the query engine's internal data traffic.
+        self.service = service
         self.name = f"client{next(_client_ids)}"
         self._maps: dict[str, Any] = {}
         self._durability = DurabilityMonitor(network, scheduler, self.name)
+        if admission is not None:
+            admission.register_client(self.name, service)
 
     # -- cluster map handling ----------------------------------------------------
 
@@ -118,9 +130,27 @@ class SmartClient:
         return cluster_map
 
     def _call(self, bucket: str, key: str, method: str, *args) -> Any:
+        """Route one KV op through the admission front door (when wired)
+        and to the key's active node."""
+        if self.admission is None:
+            return self._routed_call(bucket, key, method, args)
+        release = self.admission.acquire(self.service, self.name)
+        try:
+            return self._routed_call(bucket, key, method, args)
+        finally:
+            if release is not None:
+                release()
+
+    def _routed_call(self, bucket: str, key: str, method: str,
+                     args: tuple) -> Any:
         """Route one KV op to the key's active node, with map-refresh
-        retries on topology errors."""
+        retries on topology errors and breaker/backoff handling of
+        overload TMPFAILs.  Without an admission controller this is the
+        legacy path: every temporary failure quiesces the whole cluster
+        (``run_until_idle``) before retrying -- unbounded work per retry,
+        which is exactly what the overload benchmark shows collapsing."""
         last_error: Exception | None = None
+        overload_attempts = 0
         for attempt in range(self.MAX_RETRIES):
             cluster_map = self._map(bucket)
             vbucket_id = cluster_map.vbucket_for_key(key)
@@ -128,16 +158,44 @@ class SmartClient:
             if node is None:
                 last_error = NodeDownError(f"vbucket {vbucket_id} unassigned")
             else:
+                breaker = (self.admission.breaker(node)
+                           if self.admission is not None else None)
+                if breaker is not None and not breaker.allow():
+                    # Fail fast: the node told us it is saturated and its
+                    # cooldown has not elapsed.  No RPC, no retry loop.
+                    raise AdmissionRejectedError(
+                        f"circuit breaker open for node {node!r}",
+                        retry_after=breaker.remaining(),
+                    )
                 try:
-                    return self.network.call(
+                    result = self.network.call(
                         self.name, node, method, bucket, vbucket_id, key, *args
                     )
+                    if breaker is not None:
+                        breaker.record_success()
+                    return result
                 except (NotMyVBucketError, NodeDownError) as error:
                     last_error = error
+                except AdmissionRejectedError:
+                    # Shed by the fabric (node bulkhead): not our node's
+                    # fault, and retrying immediately would defeat the
+                    # point of shedding.
+                    raise
                 except TemporaryFailureError as error:
                     last_error = error
-                    # Give the flusher/pager a chance, then retry.
-                    self.scheduler.run_until_idle()
+                    if self.admission is None:
+                        # Legacy: give the flusher/pager a chance, retry.
+                        self.scheduler.run_until_idle()
+                        continue
+                    if error.retry_after is None:
+                        # Semantic TMPFAIL (counter on a non-int, unlock
+                        # of an unlocked doc): waiting cannot fix it.
+                        raise
+                    overload_attempts += 1
+                    breaker.record_failure()
+                    self.admission.note_overload(node, error)
+                    self.admission.backoff(overload_attempts,
+                                           hint=error.retry_after)
                     continue
             # Topology changed under us: let the manager react (failure
             # detection, pushes), refresh, retry.
@@ -273,8 +331,9 @@ class SmartClient:
     # -- batched key-value API (node-grouped bulk path, section 4.1) -------------------
 
     #: Errors that mean "the topology moved under us" -- the batch router
-    #: refreshes the map and re-batches only the affected keys.
-    _RETRYABLE = (NotMyVBucketError, NodeDownError, TemporaryFailureError)
+    #: refreshes the map and re-batches only the affected keys.  Overload
+    #: TMPFAILs are handled separately (breaker + bounded backoff).
+    _TOPOLOGY_RETRYABLE = (NotMyVBucketError, NodeDownError)
 
     def _group_by_node(self, cluster_map, keys: Iterable[str]
                        ) -> tuple[dict[str, list[tuple[int, str]]], list[str]]:
@@ -294,25 +353,63 @@ class SmartClient:
     def _multi_call(self, bucket: str, method: str,
                     keys: list[str],
                     payload: dict[str, dict] | None = None) -> BatchResult:
-        """Route a batch to the cluster: group keys by active node, issue
-        **one** ``kv_multi_get`` / ``kv_multi_mutate`` RPC per node, then
-        refresh the map and re-batch only the keys that failed with a
-        topology error (NOT_MY_VBUCKET / node down / temp failure)."""
+        """Route a batch through the admission front door (claimed once
+        for the whole batch, sized by its key count) and to the cluster."""
         batch = BatchResult()
         pending = list(dict.fromkeys(keys))  # de-dup, keep order
+        release = None
+        if self.admission is not None and pending:
+            try:
+                release = self.admission.acquire(self.service, self.name,
+                                                 ops=len(pending))
+            except AdmissionRejectedError as error:
+                for key in pending:
+                    batch.errors[key] = error
+                return batch
+        try:
+            return self._routed_multi_call(batch, bucket, method, pending,
+                                           payload)
+        finally:
+            if release is not None:
+                release()
+
+    def _routed_multi_call(self, batch: BatchResult, bucket: str, method: str,
+                           pending: list[str],
+                           payload: dict[str, dict] | None) -> BatchResult:
+        """Group keys by active node, issue **one** ``kv_multi_get`` /
+        ``kv_multi_mutate`` RPC per node, then retry selectively: keys
+        that failed with a topology error re-batch after a map refresh;
+        keys shed for overload (pressure-tagged TMPFAIL) re-batch after
+        one shared bounded backoff; keys rejected by an open breaker (or
+        with semantic failures) land in ``errors`` immediately, keeping
+        the partial-result contract -- every key ends up in exactly one
+        of ``results`` and ``errors``."""
         last_errors: dict[str, Exception] = {}
+        overload_attempts = 0
         for _attempt in range(self.MAX_RETRIES):
             if not pending:
                 break
             cluster_map = self._map(bucket)
             groups, unassigned = self._group_by_node(cluster_map, pending)
-            retry: list[str] = []
+            topology_retry: list[str] = []
+            overload_retry: list[str] = []
+            overload_hint = 0.0
             for key in unassigned:
                 last_errors[key] = NodeDownError(
                     f"vbucket {cluster_map.vbucket_for_key(key)} unassigned"
                 )
-                retry.append(key)
+                topology_retry.append(key)
             for node, items in sorted(groups.items()):
+                breaker = (self.admission.breaker(node)
+                           if self.admission is not None else None)
+                if breaker is not None and not breaker.allow():
+                    rejection = AdmissionRejectedError(
+                        f"circuit breaker open for node {node!r}",
+                        retry_after=breaker.remaining(),
+                    )
+                    for _vbucket_id, key in items:
+                        batch.errors[key] = rejection
+                    continue
                 if payload is None:
                     request: list = items
                 else:
@@ -325,27 +422,77 @@ class SmartClient:
                     outcomes = self.network.call(
                         self.name, node, method, bucket, request
                     )
-                except self._RETRYABLE as error:
+                except AdmissionRejectedError as error:
+                    # Shed by the fabric's node bulkhead: honor it.
+                    for _vbucket_id, key in items:
+                        batch.errors[key] = error
+                    continue
+                except self._TOPOLOGY_RETRYABLE as error:
                     # Whole-node failure: every key of this group retries.
                     for _vbucket_id, key in items:
                         last_errors[key] = error
-                        retry.append(key)
+                        topology_retry.append(key)
                     continue
+                except TemporaryFailureError as error:
+                    if self.admission is None:
+                        # Legacy: treat like a topology error (quiesce,
+                        # refresh, retry).
+                        for _vbucket_id, key in items:
+                            last_errors[key] = error
+                            topology_retry.append(key)
+                    elif error.retry_after is not None:
+                        breaker.record_failure()
+                        self.admission.note_overload(node, error)
+                        overload_hint = max(overload_hint, error.retry_after)
+                        for _vbucket_id, key in items:
+                            last_errors[key] = error
+                            overload_retry.append(key)
+                    else:
+                        for _vbucket_id, key in items:
+                            batch.errors[key] = error
+                    continue
+                node_overloaded = False
                 for (_vbucket_id, key), (status, value) in zip(items, outcomes):
                     if status == "ok":
                         batch.results[key] = value
-                    elif isinstance(value, self._RETRYABLE):
+                    elif isinstance(value, self._TOPOLOGY_RETRYABLE):
                         last_errors[key] = value
-                        retry.append(key)
+                        topology_retry.append(key)
+                    elif isinstance(value, TemporaryFailureError):
+                        if self.admission is None:
+                            last_errors[key] = value
+                            topology_retry.append(key)
+                        elif value.retry_after is not None:
+                            node_overloaded = True
+                            overload_hint = max(overload_hint,
+                                                value.retry_after)
+                            last_errors[key] = value
+                            overload_retry.append(key)
+                        else:
+                            batch.errors[key] = value
                     else:
                         batch.errors[key] = value
-            if not retry:
+                if breaker is not None:
+                    if node_overloaded:
+                        breaker.record_failure()
+                        self.admission.note_overload(node)
+                    else:
+                        breaker.record_success()
+            if not topology_retry and not overload_retry:
                 return batch
-            # Topology changed (or the server asked us to back off): let
-            # the manager and pumps react, then re-batch the failures.
-            self.scheduler.run_until_idle()
-            self._refresh_map(bucket)
-            pending = retry
+            if topology_retry:
+                # Topology changed: let the manager and pumps react, then
+                # re-batch the failures (this full drain also covers any
+                # overload relief this round needs).
+                self.scheduler.run_until_idle()
+                self._refresh_map(bucket)
+            else:
+                # Pure overload: one bounded, shared backoff per round
+                # instead of the legacy full-cluster quiesce.
+                overload_attempts += 1
+                self.admission.backoff(overload_attempts,
+                                       hint=overload_hint or None)
+            pending = topology_retry + overload_retry
         for key in pending:
             batch.errors[key] = last_errors[key]
         return batch

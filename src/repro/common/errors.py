@@ -110,7 +110,37 @@ class DocumentLockedError(KeyValueError):
 class TemporaryFailureError(KeyValueError):
     """The server cannot service the request right now (e.g. out of memory
     quota while ejection is in progress); the client should back off and
-    retry."""
+    retry.
+
+    Overload-path raisers (the engine's quota check) attach backpressure
+    metadata: ``retry_after`` is the server's backoff hint in virtual
+    seconds, ``pending_writes`` the flusher backlog behind the failure,
+    and ``memory_ratio`` how far past quota the cache is.  A ``None``
+    ``retry_after`` marks a *semantic* temporary failure (e.g. counter on
+    a non-integer document) that no amount of waiting will fix -- the
+    smart client retries only pressure-tagged failures."""
+
+    def __init__(self, message: str = "temporary failure; back off and retry",
+                 *, retry_after: float | None = None,
+                 pending_writes: int = 0, memory_ratio: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.pending_writes = pending_writes
+        self.memory_ratio = memory_ratio
+
+
+class AdmissionRejectedError(TemporaryFailureError):
+    """The admission-control front door shed this request before it cost
+    the cluster any work: a token bucket ran dry, a bulkhead compartment
+    was full, a circuit breaker is open, or the degradation policy is
+    shedding this service class.  Subclasses
+    :class:`TemporaryFailureError` so every pre-admission caller's
+    back-off handling (and ``@declared_raises`` contract) covers it."""
+
+    def __init__(self, reason: str, *, retry_after: float | None = None):
+        super().__init__(f"admission rejected: {reason}",
+                         retry_after=retry_after)
+        self.reason = reason
 
 
 class ValueTooLargeError(KeyValueError):

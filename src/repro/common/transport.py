@@ -35,6 +35,12 @@ class Network:
         self.calls: Counter[tuple[str, str]] = Counter()
         #: Total virtual seconds of latency charged so far.
         self.latency_charged = 0.0
+        #: Optional admission hook ``(src, dst, method) -> release|None``
+        #: consulted before every dispatch; it may raise to shed the call
+        #: and may return a callable invoked when the call finishes.
+        #: Duck-typed so ``common`` does not depend on the admission
+        #: layer; the cluster facade installs the controller's filter.
+        self.call_filter = None
 
     # -- membership ----------------------------------------------------------
 
@@ -99,19 +105,26 @@ class Network:
             raise NodeDownError(dst)
         if not self.reachable(src, dst):
             raise NodeDownError(dst)
-        self.calls[(dst, method)] += 1
-        self.latency_charged += self.default_latency
-        # An RPC is a *declared* hand-off point: whatever the endpoint
-        # mutates while serving it was mediated by the fabric, which the
-        # write-race tracker treats as legitimate cross-pump communication.
-        tracker = tracing.current()
-        if tracker is None:
-            return getattr(self._endpoints[dst], method)(*args, **kwargs)
-        tracker.enter_mediated()
+        release = (self.call_filter(src, dst, method)
+                   if self.call_filter is not None else None)
         try:
-            return getattr(self._endpoints[dst], method)(*args, **kwargs)
+            self.calls[(dst, method)] += 1
+            self.latency_charged += self.default_latency
+            # An RPC is a *declared* hand-off point: whatever the endpoint
+            # mutates while serving it was mediated by the fabric, which the
+            # write-race tracker treats as legitimate cross-pump
+            # communication.
+            tracker = tracing.current()
+            if tracker is None:
+                return getattr(self._endpoints[dst], method)(*args, **kwargs)
+            tracker.enter_mediated()
+            try:
+                return getattr(self._endpoints[dst], method)(*args, **kwargs)
+            finally:
+                tracker.exit_mediated()
         finally:
-            tracker.exit_mediated()
+            if release is not None:
+                release()
 
     def reset_counters(self) -> None:
         self.calls.clear()

@@ -45,6 +45,7 @@ CATCH_ALL = "*"
 ENTRY_MODULE_SUFFIXES = {
     "client.smart_client": "client API",
     "n1ql.service": "query service API",
+    "admission.controller": "admission API",
 }
 
 #: Panics from the simulation harness itself -- livelock detection and

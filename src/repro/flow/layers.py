@@ -50,7 +50,7 @@ from .project import DEFERRED, EAGER, ModuleInfo, Project
 
 RANKS = {
     "common": 0,
-    "storage": 1,
+    "storage": 1, "admission": 1,
     "kv": 2,
     "dcp": 3,
     "n1ql": 4, "gsi": 4, "views": 4, "xdcr": 4, "replication": 4,

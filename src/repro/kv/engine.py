@@ -150,6 +150,10 @@ class KVEngine:
     #: Hard locks expire after this many seconds unless released (§3.1.1:
     #: "this lock will be released after a certain timeout").
     LOCK_TIMEOUT = 15.0
+    #: Base unit (virtual seconds) of the TMPFAIL ``retry_after`` hint;
+    #: scaled by the flusher backlog so a deeper queue asks clients to
+    #: wait longer.
+    TMPFAIL_RETRY_QUANTUM = 0.005
 
     def __init__(
         self,
@@ -171,6 +175,10 @@ class KVEngine:
         self.eviction_policy = eviction_policy
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.vbuckets: dict[int, VBucket] = {}
+        #: Bucket-wide memory usage, maintained incrementally by hash
+        #: table charge callbacks (insert/replace/eject/delete) so quota
+        #: checks and the pager loop are O(1), not O(vbuckets x checks).
+        self._memory_used = 0
         self._cas_counter = itertools.count(1)
         #: Callbacks invoked with each new mutation Document -- the DCP
         #: fan-out point (replication streams attach here).
@@ -181,6 +189,7 @@ class KVEngine:
     def create_vbucket(self, vbucket_id: int,
                        state: VBucketState = VBucketState.ACTIVE) -> VBucket:
         vb = VBucket(vbucket_id, state, self.disk, self.bucket_name)
+        vb.hashtable.memory_listener = self._charge_memory
         self.vbuckets[vbucket_id] = vb
         return vb
 
@@ -197,7 +206,10 @@ class KVEngine:
             vb.state = state
 
     def drop_vbucket(self, vbucket_id: int) -> None:
-        self.vbuckets.pop(vbucket_id, None)
+        vb = self.vbuckets.pop(vbucket_id, None)
+        if vb is not None:
+            self._memory_used -= vb.hashtable.memory_used
+            vb.hashtable.memory_listener = None
 
     def _active(self, vbucket_id: int) -> VBucket:
         vb = self.vbuckets.get(vbucket_id)
@@ -299,7 +311,7 @@ class KVEngine:
             stored = vb.store.get(key)
             entry.doc.value = stored.value
             entry.doc.ejected = False
-            vb.hashtable.memory_used += sizeof(stored.value or 0)
+            vb.hashtable.charge(sizeof(stored.value or 0))
             self.metrics.inc("kv.bg_fetches")
         entry.referenced = True
         self.metrics.inc("kv.gets")
@@ -665,20 +677,35 @@ class KVEngine:
 
     # -- memory management ---------------------------------------------------------
 
+    def _charge_memory(self, delta: int) -> None:
+        self._memory_used += delta
+
     def memory_used(self) -> int:
+        """Bucket-wide usage from the incremental counter -- O(1)."""
+        return self._memory_used
+
+    def memory_used_full(self) -> int:
+        """Ground truth by full re-summation; tests assert it always
+        matches the incremental counter."""
         return sum(vb.hashtable.memory_used for vb in self.vbuckets.values())
 
     def _ensure_quota_headroom(self, incoming: Document) -> None:
         if self.quota_bytes is None:
             return
         needed = incoming.memory_footprint()
-        if self.memory_used() + needed <= self.quota_bytes * self.HIGH_WATERMARK:
+        if self._memory_used + needed <= self.quota_bytes * self.HIGH_WATERMARK:
             return
         self.run_item_pager()
-        if self.memory_used() + needed > self.quota_bytes:
+        if self._memory_used + needed > self.quota_bytes:
+            backlog = self.pending_writes()
+            self.metrics.inc("kv.tmpfails")
             raise TemporaryFailureError(
                 f"bucket {self.bucket_name!r} memory quota exhausted on "
-                f"{self.node_name!r}; retry after the flusher catches up"
+                f"{self.node_name!r}; retry after the flusher catches up",
+                retry_after=self.TMPFAIL_RETRY_QUANTUM
+                * (1 + backlog // self.FLUSH_BATCH),
+                pending_writes=backlog,
+                memory_ratio=self._memory_used / self.quota_bytes,
             )
 
     def run_item_pager(self) -> int:
@@ -690,13 +717,13 @@ class KVEngine:
         target = self.quota_bytes * self.LOW_WATERMARK
         ejected = 0
         for skip_referenced in (True, False):
-            if self.memory_used() <= target:
+            if self._memory_used <= target:
                 break
             for vb in self.vbuckets.values():
-                if self.memory_used() <= target:
+                if self._memory_used <= target:
                     break
                 for key, entry in vb.hashtable.items():
-                    if self.memory_used() <= target:
+                    if self._memory_used <= target:
                         break
                     if entry.dirty or entry.doc.meta.deleted or entry.doc.ejected:
                         continue

@@ -48,6 +48,16 @@ class HashTable:
         self._entries: dict[str, CacheEntry] = {}
         #: Bytes charged for resident entries (keys, metadata, values).
         self.memory_used = 0
+        #: Optional ``callable(delta_bytes)`` notified of every memory
+        #: charge; the engine hooks this to keep a bucket-wide usage
+        #: counter without re-summing per-vBucket tallies on each check.
+        self.memory_listener = None
+
+    def charge(self, delta: int) -> None:
+        """Single funnel for all memory accounting mutations."""
+        self.memory_used += delta
+        if self.memory_listener is not None:
+            self.memory_listener(delta)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -70,19 +80,19 @@ class HashTable:
         """Insert or replace an entry; preserves an existing lock."""
         old = self._entries.get(doc.key)
         if old is not None:
-            self.memory_used -= old.doc.memory_footprint()
+            self.charge(-old.doc.memory_footprint())
         entry = CacheEntry(doc, dirty)
         if old is not None:
             entry.locked_until = old.locked_until
             entry.lock_cas = old.lock_cas
         self._entries[doc.key] = entry
-        self.memory_used += doc.memory_footprint()
+        self.charge(doc.memory_footprint())
         return entry
 
     def remove(self, key: str) -> None:
         entry = self._entries.pop(key, None)
         if entry is not None:
-            self.memory_used -= entry.doc.memory_footprint()
+            self.charge(-entry.doc.memory_footprint())
 
     def eject_value(self, key: str) -> bool:
         """Value eviction: drop the body, keep key + metadata resident.
@@ -91,10 +101,10 @@ class HashTable:
         entry = self._entries.get(key)
         if entry is None or entry.dirty or entry.doc.ejected or entry.doc.meta.deleted:
             return False
-        self.memory_used -= entry.doc.memory_footprint()
+        self.charge(-entry.doc.memory_footprint())
         entry.doc.value = None
         entry.doc.ejected = True
-        self.memory_used += entry.doc.memory_footprint()
+        self.charge(entry.doc.memory_footprint())
         return True
 
     def eject_entry(self, key: str) -> bool:
@@ -129,5 +139,5 @@ class HashTable:
         return resident / len(self._entries)
 
     def clear(self) -> None:
+        self.charge(-self.memory_used)
         self._entries.clear()
-        self.memory_used = 0

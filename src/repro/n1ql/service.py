@@ -205,7 +205,9 @@ class QueryService:
         #: service runs, so the cluster-map cache and the node-grouped
         #: batch path survive across queries (previously each
         #: ExecutionContext called ``cluster.connect()`` afresh).
-        self.client = cluster.connect()
+        #: Tagged "n1ql" so a scan storm's data traffic draws on the
+        #: query compartment, not the application KV compartment.
+        self.client = cluster.connect(service="n1ql")
 
     # -- entry point --------------------------------------------------------------------
 
@@ -230,20 +232,30 @@ class QueryService:
             raise N1qlSemanticError(
                 "at_plus requires mutation tokens (consistent_with=...)"
             )
-        metrics = self.node.metrics
-        metrics.inc("n1ql.requests")
-        tokens = consistent_with or []
-        cached = self.plan_cache.get(text, self.catalog.current_epoch())
-        if cached is not None:
-            metrics.inc("n1ql.plan_cache.hit")
-            self._scan_tokens = tokens
-            return self._run_select(cached.plan,
-                                    _normalize_params(params),
-                                    scan_consistency)
-        with metrics.timer("n1ql.parse_seconds"):
-            statement = parse(text)
-        return self._dispatch(statement, _normalize_params(params),
-                              scan_consistency, tokens, text=text)
+        # Degradation order under overload: N1QL is shed at this front
+        # door (before parse/plan/execute cost anything) while KV point
+        # ops keep flowing.  The admission slot is held for the whole
+        # request so the n1ql bulkhead counts running queries.
+        admission = getattr(self.cluster, "admission", None)
+        release = admission.admit_query() if admission is not None else None
+        try:
+            metrics = self.node.metrics
+            metrics.inc("n1ql.requests")
+            tokens = consistent_with or []
+            cached = self.plan_cache.get(text, self.catalog.current_epoch())
+            if cached is not None:
+                metrics.inc("n1ql.plan_cache.hit")
+                self._scan_tokens = tokens
+                return self._run_select(cached.plan,
+                                        _normalize_params(params),
+                                        scan_consistency)
+            with metrics.timer("n1ql.parse_seconds"):
+                statement = parse(text)
+            return self._dispatch(statement, _normalize_params(params),
+                                  scan_consistency, tokens, text=text)
+        finally:
+            if release is not None:
+                release()
 
     def _dispatch(self, statement, params: dict,
                   scan_consistency: str,

@@ -20,7 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..common.errors import InvalidArgumentError, KeyNotFoundError
+from ..common.errors import (
+    InvalidArgumentError,
+    KeyNotFoundError,
+    TemporaryFailureError,
+)
 from ..common.scheduler import SchedulePolicy
 from ..gsi.indexdef import IndexDefinition, path_extractor
 from ..server import Cluster
@@ -221,6 +225,54 @@ def _run_xdcr(policy: SchedulePolicy) -> RunOutcome:
                     observations={"converged": converged})
 
 
+# -- overload-quota ---------------------------------------------------------------
+
+
+def _run_overload_quota(policy: SchedulePolicy) -> RunOutcome:
+    """A write load against a deliberately tiny quota: TMPFAILs, client
+    backoff, breaker trips, pager ejections.  How *often* the engine
+    sheds depends on pump order (flusher progress is the schedule), and
+    retry counts move the CAS counter -- so the cluster digest is
+    legitimately schedule dependent and excluded.  What must NOT depend
+    on the schedule: every retried write eventually lands with its final
+    value, the incremental memory counter equals the ground-truth sum,
+    and the admission front door recovers (breaker closed, pressure
+    decayed) once the load stops."""
+    cluster = sanitized_cluster(
+        "ov", policy, vbuckets=4, nodes=[("ov1", _ALL)],
+    )
+    cluster.create_bucket("b", replicas=0, quota_bytes=48 * 1024,
+                          expiry_pager_interval=None)
+    client = cluster.connect()
+    for i in range(40):
+        payload = {"i": i, "pad": "x" * 2048}
+        for _attempt in range(60):
+            try:
+                client.upsert("b", f"k{i}", payload)
+                break
+            except TemporaryFailureError:
+                cluster.tick(0.05)
+        else:
+            raise AssertionError(f"k{i} never landed under backoff")
+    cluster.run_until_idle()
+    # Let pressure decay and the breaker cooldown elapse, then probe.
+    cluster.tick(35.0)
+    client.upsert("b", "probe", {"i": -1})
+    engine = cluster.node("ov1").engines["b"]
+    reads = {f"k{i}": client.get("b", f"k{i}").value["i"] for i in range(40)}
+    return RunOutcome(
+        clusters=[],
+        schedulers={"ov": cluster.scheduler},
+        observations={
+            "reads": reads,
+            "memory_counter_consistent":
+                engine.memory_used() == engine.memory_used_full(),
+            "breaker_recovered": cluster.admission.breaker("ov1").state,
+            "overloaded_after_quiesce": cluster.admission.overloaded(),
+        },
+    )
+
+
 def builtin_scenarios() -> list[Scenario]:
     return [
         Scenario(
@@ -242,6 +294,12 @@ def builtin_scenarios() -> list[Scenario]:
             "xdcr-bidirectional",
             "bidirectional XDCR conflict resolution converges identically",
             _run_xdcr,
+        ),
+        Scenario(
+            "overload-quota",
+            "retried writes under quota pressure converge; the front "
+            "door recovers after the storm",
+            _run_overload_quota,
         ),
     ]
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from .admission.controller import AdmissionConfig, AdmissionController
 from .client.smart_client import SmartClient
 from .cluster.cluster_map import ClusterMap
 from .cluster.manager import ClusterManager
@@ -48,14 +49,26 @@ class Cluster:
         vbuckets: int = 64,
         auto_failover: bool = True,
         network_latency: float = 0.0,
+        admission: bool | AdmissionConfig = True,
     ):
         """``nodes`` is either a count (all-service nodes named node1..N)
         or an iterable of ``(name, services)`` pairs.  ``vbuckets``
         defaults to 64 for in-process speed; pass 1024 for the paper's
-        fixed production value."""
+        fixed production value.  ``admission`` is True (default controller
+        with permissive limits), an :class:`AdmissionConfig` with explicit
+        budgets, or False for the unprotected legacy overload behavior
+        (the ablation baseline of the overload benchmark)."""
         self.clock = VirtualClock()
         self.scheduler = Scheduler(self.clock)
         self.network = Network(default_latency=network_latency)
+        if admission:
+            config = admission if isinstance(admission, AdmissionConfig) else None
+            self.admission: AdmissionController | None = AdmissionController(
+                self.scheduler, config=config
+            )
+            self.network.call_filter = self.admission.fabric_filter
+        else:
+            self.admission = None
         self.manager = ClusterManager(
             self.network, self.scheduler, auto_failover=auto_failover
         )
@@ -178,9 +191,12 @@ class Cluster:
 
     # -- clients --------------------------------------------------------------------------
 
-    def connect(self) -> SmartClient:
-        """Create an application client (the SDK handle of section 3.1)."""
-        client = SmartClient(self.manager, self.network, self.scheduler)
+    def connect(self, *, service: str = "kv") -> SmartClient:
+        """Create an application client (the SDK handle of section 3.1).
+        ``service`` tags the handle's traffic for bulkhead attribution
+        ("kv" for applications; the query engine connects as "n1ql")."""
+        client = SmartClient(self.manager, self.network, self.scheduler,
+                             admission=self.admission, service=service)
         client.cluster = self
         return client
 
