@@ -523,7 +523,9 @@ class SmartClient:
         for key, error in batch.errors.items():
             if not isinstance(error, KeyNotFoundError):
                 raise error
-        return dict(batch.results)
+        # The BatchResult is ours alone; hand its dict out as-is rather
+        # than copying it on the hot fetch path.
+        return batch.results
 
     @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
     def multi_get_batch(self, bucket: str, keys: list[str]) -> BatchResult:

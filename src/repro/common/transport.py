@@ -101,6 +101,29 @@ class Network:
     def call(self, src: str, dst: str, method: str, *args: Any, **kwargs: Any) -> Any:
         """Invoke ``method`` on the endpoint named ``dst`` on behalf of
         ``src``.  Raises :class:`NodeDownError` if unreachable."""
+        return self._dispatch(src, dst, method, args, kwargs,
+                              charge_latency=True)
+
+    def call_fanout(self, src: str, dsts: list[str], method: str,
+                    *args: Any) -> list[Any]:
+        """Scatter ``method`` to every endpoint in ``dsts`` as one
+        parallel wave; returns the results in ``dsts`` order.
+
+        The calls overlap in virtual time, so the wave is charged one
+        ``default_latency`` total instead of one per call; per-(node,
+        method) counters still tick for every call.  Dispatch happens in
+        list order -- the scatter is deterministic, so the sanitizer sees
+        identical merge inputs under any pump schedule -- and the first
+        unreachable destination raises :class:`NodeDownError` (a partial
+        scatter-gather would silently drop that node's rows)."""
+        results = []
+        for position, dst in enumerate(dsts):
+            results.append(self._dispatch(src, dst, method, args, {},
+                                          charge_latency=position == 0))
+        return results
+
+    def _dispatch(self, src: str, dst: str, method: str, args: tuple,
+                  kwargs: dict, *, charge_latency: bool) -> Any:
         if dst not in self._endpoints:
             raise NodeDownError(dst)
         if not self.reachable(src, dst):
@@ -109,7 +132,8 @@ class Network:
                    if self.call_filter is not None else None)
         try:
             self.calls[(dst, method)] += 1
-            self.latency_charged += self.default_latency
+            if charge_latency:
+                self.latency_charged += self.default_latency
             # An RPC is a *declared* hand-off point: whatever the endpoint
             # mutates while serving it was mediated by the fabric, which the
             # write-race tracker treats as legitimate cross-pump

@@ -353,9 +353,11 @@ class _Builder:
                                           "scheduler", "Scheduler"):
                 self._register_callback(call, call.args[1], "timer", env, func)
                 return
-            if attr == "call" and len(call.args) >= 3 \
+            if attr in ("call", "call_fanout") and len(call.args) >= 3 \
                     and self._receiver_is(base, env, func,
                                           "network", "Network"):
+                # Both put the method name at args[2]; call_fanout is the
+                # parallel-wave variant, one rpc edge covers every dst.
                 self._handle_rpc_site(call, env, func)
                 return
             if attr == "partial" and _last_component(base) == "functools" \

@@ -15,6 +15,7 @@ updated up to the maximum sequence number for each vBucket").
 
 from __future__ import annotations
 
+import json
 
 from ..common import tracing
 from ..common.disk import SimulatedDisk
@@ -23,9 +24,10 @@ from ..common.errors import (
     IndexNotFoundError,
     declared_raises,
 )
+from ..n1ql.collation import MISSING, compare
 from .indexdef import IndexDefinition
 from .projector import KeyVersion
-from .storage import make_storage
+from .storage import composite_compare, make_storage
 
 
 class IndexInstance:
@@ -107,7 +109,107 @@ class Indexer:
             if limit is not None and len(rows) >= limit:
                 break
         self.node.metrics.inc("gsi.scans")
+        self.node.metrics.inc("gsi.scan_rows", len(rows))
         return rows
+
+    @declared_raises('IndexNotFoundError')
+    def scan_page(self, name: str, low: list | None, high: list | None,
+                  inclusive_low: bool = True, inclusive_high: bool = True,
+                  descending: bool = False, page_size: int = 64,
+                  after: tuple[list, str] | None = None,
+                  ) -> tuple[list[tuple[list, str]], bool]:
+        """One page of a range scan: up to ``page_size`` rows strictly
+        past the ``after`` continuation (the last row of the previous
+        page), plus an exhausted flag.
+
+        This is the node half of the coordinator's streaming merge: the
+        coordinator pulls pages on demand and stops once a LIMIT is
+        satisfied, so a partition never materializes a partial the merge
+        frontier will not reach.  The continuation restarts the walk at
+        ``after``'s key, skipping rows at-or-before it -- duplicate keys
+        at the page boundary are re-walked but never re-returned."""
+        instance = self.instance(name)
+        page_size = max(1, page_size)
+        after_row: list | None = None
+        if after is not None:
+            after_row = [after[0], after[1]]
+            if descending:
+                high, inclusive_high = after[0], True
+            else:
+                low, inclusive_low = after[0], True
+        rows: list[tuple[list, str]] = []
+        for key_components, doc_id in instance.storage.scan(
+            low, high, inclusive_low, inclusive_high, descending,
+        ):
+            if after_row is not None:
+                order = composite_compare([key_components, doc_id], after_row)
+                if order >= 0 if descending else order <= 0:
+                    continue
+            rows.append((key_components, doc_id))
+            if len(rows) >= page_size:
+                break
+        self.node.metrics.inc("gsi.scan_pages")
+        self.node.metrics.inc("gsi.scan_page_rows", len(rows))
+        return rows, len(rows) < page_size
+
+    @declared_raises('IndexNotFoundError')
+    def scan_aggregate(self, name: str, low: list | None, high: list | None,
+                       inclusive_low: bool = True,
+                       inclusive_high: bool = True,
+                       group_positions: list[int] | tuple = (),
+                       agg_specs: list[tuple[str, int | None]] | tuple = (),
+                       ) -> list[list]:
+        """Partial GROUP BY over this node's index rows (section 5.1's
+        pre-computed aggregates): group on the key components at
+        ``group_positions`` and fold each ``(aggregate_name, position)``
+        spec into a mergeable partial state, so only group summaries --
+        never rows -- cross the fabric.
+
+        A spec position of None is COUNT(*) (counts rows) and -1 takes
+        the document id.  Each partial is ``[count, total, best]``:
+        ``count`` counts non-MISSING/non-NULL inputs, ``total`` sums
+        numeric inputs (SUM/AVG), ``best`` tracks the MIN/MAX candidate.
+        Returns ``[[group_token, group_values, partials], ...]`` sorted
+        by token; the token is the same JSON shape the query service's
+        Group operator uses, so the coordinator merges by value
+        equality, not object identity."""
+        instance = self.instance(name)
+        groups: dict[str, tuple[list, list[list]]] = {}
+        for key_components, doc_id in instance.storage.scan(
+            low, high, inclusive_low, inclusive_high, False,
+        ):
+            values = [key_components[p] for p in group_positions]
+            token = json.dumps(
+                [None if v is MISSING else ["$", v] for v in values],
+                sort_keys=True,
+            )
+            entry = groups.get(token)
+            if entry is None:
+                entry = (values, [[0, 0, MISSING] for _ in agg_specs])
+                groups[token] = entry
+            for (agg_name, position), partial in zip(agg_specs, entry[1]):
+                if position is None:  # COUNT(*): counts rows, not values
+                    partial[0] += 1
+                    continue
+                value = doc_id if position < 0 else key_components[position]
+                if value is MISSING or value is None:
+                    continue  # aggregates ignore MISSING and NULL inputs
+                partial[0] += 1
+                if agg_name in ("SUM", "AVG") \
+                        and isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    partial[1] += value
+                elif agg_name == "MIN":
+                    if partial[2] is MISSING or compare(value, partial[2]) < 0:
+                        partial[2] = value
+                elif agg_name == "MAX":
+                    if partial[2] is MISSING or compare(value, partial[2]) > 0:
+                        partial[2] = value
+        self.node.metrics.inc("gsi.scan_aggregates")
+        return [
+            [token, groups[token][0], groups[token][1]]
+            for token in sorted(groups)
+        ]
 
     @declared_raises('IndexNotFoundError')
     def watermarks(self, name: str) -> dict[int, int]:

@@ -19,6 +19,9 @@ Three pieces live here:
 
 from __future__ import annotations
 
+import functools
+import heapq
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -33,6 +36,7 @@ from ..common.errors import (
 )
 from ..common.services import Service
 from ..kv.types import VBucketState
+from ..n1ql.collation import MISSING, compare
 from .indexdef import IndexDefinition
 from .indexer import Indexer
 from .projector import KeyVersion, Router
@@ -40,6 +44,27 @@ from .storage import HIGH_BOUND, composite_compare
 
 if TYPE_CHECKING:
     from ..server import Cluster
+
+#: Rows per ``gsi_scan_page`` pull.  Matches the query pipeline's batch
+#: size, so a LIMIT-k query drains at most k + one page per partition.
+SCAN_PAGE_SIZE = 64
+
+#: Ablation flag: False reverts to the serial fan-out that materializes
+#: every partition's full partial before merging (the pre-scatter-gather
+#: behaviour, minus the removed concat+sort).
+PARALLEL_SCAN_ENABLED = True
+
+#: Total order over (key_components, doc_id) rows for the k-way merge;
+#: identical to the ordering the index nodes return pages in.
+_ROW_ORDER = functools.cmp_to_key(
+    lambda a, b: composite_compare([a[0], a[1]], [b[0], b[1]])
+)
+
+#: Deterministic output order for merged aggregate groups: collation
+#: order over the group key values.
+_GROUP_ORDER = functools.cmp_to_key(
+    lambda a, b: composite_compare([a[0], ""], [b[0], ""])
+)
 
 
 @dataclass
@@ -113,6 +138,8 @@ class IndexService:
         # fabric can dispatch to it.
         node.gsi_apply = self.indexer.apply
         node.gsi_scan = self.indexer.scan
+        node.gsi_scan_page = self.indexer.scan_page
+        node.gsi_scan_aggregate = self.indexer.scan_aggregate
         node.gsi_watermarks = self.indexer.watermarks
         node.gsi_count = self.indexer.count
         node.gsi_create_local = self.indexer.create
@@ -256,22 +283,152 @@ class GsiCoordinator:
         scan_consistency: str = "not_bounded",
         mutation_tokens: list | None = None,
     ) -> list[tuple[list, str]]:
-        """Cluster-level index scan: consistency barrier, partition
-        fan-out, ordered merge.
-
-        Consistency levels (section 3.2.3 plus the 4.5-era at_plus):
-        ``not_bounded`` scans immediately; ``request_plus`` waits for
-        every mutation that existed at request time; ``at_plus`` waits
-        only for the caller's own ``mutation_tokens`` -- the cheap
-        read-your-own-writes option."""
+        """Cluster-level index scan: consistency barrier (see
+        :meth:`_consistency_barrier`), parallel partition fan-out, and a
+        streaming ordered merge that short-circuits at ``limit``."""
         meta = self.registry.require(name)
         if meta.state != "ready":
             raise IndexNotReadyError(name)
+        high = self._pad_high(meta, high, inclusive_high)
+        self._consistency_barrier(meta, scan_consistency, mutation_tokens)
+        if limit is not None and limit <= 0:
+            return []
+
+        # Every partition holds rows no other partition has: a scan that
+        # skipped a down node would return a silently incomplete result
+        # set, which is worse than failing.  Let NodeDownError propagate.
+        node_names = list(dict.fromkeys(meta.nodes))
+        if len(node_names) == 1:
+            rows = self.cluster.network.call(
+                "gsi-coordinator", node_names[0], "gsi_scan", name,
+                low, high, inclusive_low, inclusive_high, descending,
+                limit,
+            )
+            return rows if limit is None else rows[:limit]
+        if not PARALLEL_SCAN_ENABLED:
+            # Ablation baseline: serial fan-out, each partition charged
+            # its own round trip and materialized in full before the
+            # k-way merge.
+            partials = [
+                self.cluster.network.call(
+                    "gsi-coordinator", node_name, "gsi_scan", name,
+                    low, high, inclusive_low, inclusive_high, descending,
+                    limit,
+                )
+                for node_name in node_names
+            ]
+            merged = heapq.merge(*partials, key=_ROW_ORDER,
+                                 reverse=descending)
+            return list(itertools.islice(merged, limit))
+        # Parallel scatter-gather: one wave of first-page RPCs to every
+        # partition (charged a single round trip -- the calls overlap),
+        # then a streaming k-way merge over lazily pulled pages.  With a
+        # LIMIT the merge stops at the frontier, so each partition
+        # yields at most limit + one page of rows.
+        page = SCAN_PAGE_SIZE if limit is None else min(SCAN_PAGE_SIZE, limit)
+        first_pages = self.cluster.network.call_fanout(
+            "gsi-coordinator", node_names, "gsi_scan_page", name,
+            low, high, inclusive_low, inclusive_high, descending,
+            page, None,
+        )
+        streams = [
+            self._page_stream(node_name, name, low, high, inclusive_low,
+                              inclusive_high, descending, page, rows,
+                              exhausted)
+            for node_name, (rows, exhausted) in zip(node_names, first_pages)
+        ]
+        merged = heapq.merge(*streams, key=_ROW_ORDER, reverse=descending)
+        return list(itertools.islice(merged, limit))
+
+    def _page_stream(self, node_name: str, name: str, low, high,
+                     inclusive_low: bool, inclusive_high: bool,
+                     descending: bool, page: int, rows, exhausted: bool):
+        """One partition's rows, pulled page by page: the next page is
+        requested only when the merge frontier actually drains this
+        partition past its buffered rows."""
+        while True:
+            yield from rows
+            if exhausted or not rows:
+                return
+            rows, exhausted = self.cluster.network.call(
+                "gsi-coordinator", node_name, "gsi_scan_page", name,
+                low, high, inclusive_low, inclusive_high, descending,
+                page, rows[-1],
+            )
+
+    def scan_aggregate(
+        self,
+        name: str,
+        low: list | None = None,
+        high: list | None = None,
+        *,
+        inclusive_low: bool = True,
+        inclusive_high: bool = True,
+        group_positions: list[int] | tuple = (),
+        agg_specs: list[tuple[str, int | None]] | tuple = (),
+        scan_consistency: str = "not_bounded",
+        mutation_tokens: list | None = None,
+    ) -> list[tuple[list, list[list]]]:
+        """Partial-aggregate pushdown (section 5.1): every partition
+        pre-aggregates its own rows via ``gsi_scan_aggregate`` -- one
+        parallel wave, like :meth:`scan` -- and only the per-group
+        partial states cross the fabric; this coordinator merges them
+        by group token.  Returns ``[(group_values, partials), ...]`` in
+        collation order of the group values."""
+        meta = self.registry.require(name)
+        if meta.state != "ready":
+            raise IndexNotReadyError(name)
+        high = self._pad_high(meta, high, inclusive_high)
+        self._consistency_barrier(meta, scan_consistency, mutation_tokens)
+        node_names = list(dict.fromkeys(meta.nodes))
+        # A down partition would silently drop its groups' rows from the
+        # totals; let NodeDownError propagate, exactly like scan().
+        node_results = self.cluster.network.call_fanout(
+            "gsi-coordinator", node_names, "gsi_scan_aggregate", name,
+            low, high, inclusive_low, inclusive_high,
+            list(group_positions), list(agg_specs),
+        )
+        merged: dict[str, tuple[list, list[list]]] = {}
+        for node_groups in node_results:
+            for token, values, partials in node_groups:
+                entry = merged.get(token)
+                if entry is None:
+                    merged[token] = (values, [list(p) for p in partials])
+                    continue
+                for (agg_name, _position), mine, theirs in zip(
+                    agg_specs, entry[1], partials,
+                ):
+                    mine[0] += theirs[0]
+                    mine[1] += theirs[1]
+                    if theirs[2] is MISSING:
+                        continue
+                    if mine[2] is MISSING:
+                        mine[2] = theirs[2]
+                    elif agg_name == "MIN" \
+                            and compare(theirs[2], mine[2]) < 0:
+                        mine[2] = theirs[2]
+                    elif agg_name == "MAX" \
+                            and compare(theirs[2], mine[2]) > 0:
+                        mine[2] = theirs[2]
+        out = list(merged.values())
+        out.sort(key=_GROUP_ORDER)
+        return out
+
+    def _pad_high(self, meta: IndexMeta, high: list | None,
+                  inclusive_high: bool) -> list | None:
         arity = len(meta.definition.key_sources)
         if high is not None and inclusive_high and len(high) < arity:
             # Prefix upper bound: pad with a past-everything sentinel so
             # composite entries sharing the prefix are included.
             high = list(high) + [HIGH_BOUND] * (arity - len(high))
+        return high
+
+    def _consistency_barrier(self, meta: IndexMeta, scan_consistency: str,
+                             mutation_tokens: list | None) -> None:
+        """Consistency levels (section 3.2.3 plus the 4.5-era at_plus):
+        ``not_bounded`` scans immediately; ``request_plus`` waits for
+        every mutation that existed at request time; ``at_plus`` waits
+        only for the caller's own ``mutation_tokens``."""
         if scan_consistency == "request_plus":
             self._barrier(meta, self._current_seqnos(meta.definition.bucket))
         elif scan_consistency == "at_plus":
@@ -283,32 +440,6 @@ class GsiCoordinator:
         elif scan_consistency != "not_bounded":
             raise InvalidArgumentError(
                 f"unknown scan consistency {scan_consistency!r}")
-
-        # Every partition holds rows no other partition has: a scan that
-        # skipped a down node would return a silently incomplete result
-        # set, which is worse than failing.  Let NodeDownError propagate.
-        partials = []
-        for node_name in dict.fromkeys(meta.nodes):
-            rows = self.cluster.network.call(
-                "gsi-coordinator", node_name, "gsi_scan", name,
-                low, high, inclusive_low, inclusive_high, descending,
-                limit,
-            )
-            partials.append(rows)
-        if len(partials) == 1:
-            merged = list(partials[0])
-        else:
-            merged = [row for partial in partials for row in partial]
-            import functools
-            merged.sort(
-                key=functools.cmp_to_key(
-                    lambda a, b: composite_compare([a[0], a[1]], [b[0], b[1]])
-                ),
-                reverse=descending,
-            )
-        if limit is not None:
-            merged = merged[:limit]
-        return merged
 
     def _barrier(self, meta: IndexMeta, marks: dict[int, int]) -> None:
         """Wait until the index has processed the given seqno marks."""

@@ -1,0 +1,487 @@
+"""Batch-vectorized operator pipeline.
+
+Compiling the expression hot path (see :mod:`repro.n1ql.compile`) left
+the pipeline's per-row *plumbing* -- one generator hop per operator per
+:class:`Env` -- as the dominant interpreter cost.  This module applies
+section 4.5.3's pipelined execution at batch granularity: every operator
+consumes and produces lists of up to :data:`BATCH_SIZE` row
+environments, so the generator machinery runs once per batch and the
+compiled closures run in tight per-batch loops.
+
+Executors mirror :mod:`repro.n1ql.operators` one for one -- same row
+order, same drop/copy semantics, same ``n1ql.*`` metrics -- and the
+row-at-a-time pipeline is preserved behind :data:`BATCH_ENABLED`
+(mirroring ``COMPILE_ENABLED``) for ablation.  The only observable
+difference is RPC granularity: the batch Fetch drains whatever each
+batch holds, so bulk-get chunk boundaries may fall differently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from ..common.errors import N1qlRuntimeError
+from .collation import MISSING
+from .compile import compile_expr, compile_sort_key
+from .expressions import Env
+from .functions import _COUNT_STAR, Accumulator
+from .operators import (
+    ExecutionContext,
+    FetchState,
+    _compiled,
+    _cover_doc,
+    _evaluate_span,
+    _group_compiled,
+    _jsonable,
+    _on_keys_list,
+    _project_compiled,
+    _pushed_limit,
+    _run_view_index_scan,
+    meta_dict,
+    run_index_aggregate,
+    run_primary_scan,
+    run_system_scan,
+)
+from .plan import (
+    DistinctOp,
+    Fetch,
+    Filter,
+    FinalProject,
+    GroupOp,
+    IndexScan,
+    InitialProject,
+    JoinOp,
+    KeyScan,
+    LetOp,
+    LimitOp,
+    NestOp,
+    OffsetOp,
+    OrderOp,
+    PrimaryScan,
+    UnnestOp,
+)
+
+#: Ablation flag: False reverts execute_plan to the row-at-a-time
+#: pipeline (mirrors COMPILE_ENABLED in repro.n1ql.compile).
+BATCH_ENABLED = True
+
+#: Rows per batch.  Small enough that LIMIT overshoots by at most one
+#: batch and memory stays bounded, large enough to amortize the
+#: per-batch dispatch to noise.
+BATCH_SIZE = 64
+
+Batches = Iterator[list[Env]]
+
+
+def _batched(rows: Iterator[Env]) -> Batches:
+    """Chunk a row stream into batches (adapter for the rare executors
+    that stay row-at-a-time underneath: view scans, system scans)."""
+    batch: list[Env] = []
+    for env in rows:
+        batch.append(env)
+        if len(batch) >= BATCH_SIZE:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def _chunks(rows: list) -> Batches:
+    for start in range(0, len(rows), BATCH_SIZE):
+        yield rows[start:start + BATCH_SIZE]
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+
+def run_key_scan_batch(op: KeyScan, ctx: ExecutionContext) -> Batches:
+    keys = _compiled(op, "_compiled_keys", op.keys, ctx)(Env(), ctx.evaluator)
+    if isinstance(keys, str):
+        keys = [keys]
+    if not isinstance(keys, list):
+        return
+    ctx.count("n1ql.keyscan")
+    batch: list[Env] = []
+    for key in keys:
+        if not isinstance(key, str):
+            continue
+        env = Env()
+        env.bind(op.alias, {"__pending_fetch__": key}, {"id": key})
+        batch.append(env)
+        if len(batch) >= BATCH_SIZE:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def run_index_scan_batch(op: IndexScan, ctx: ExecutionContext) -> Batches:
+    if op.using == "view":
+        yield from _batched(_run_view_index_scan(op, ctx))
+        return
+    low, high, inclusive_low, inclusive_high = _evaluate_span(op.span, ctx)
+    rows = ctx.cluster.gsi.scan(
+        op.index_name, low, high,
+        inclusive_low=inclusive_low, inclusive_high=inclusive_high,
+        limit=_pushed_limit(op, ctx),
+        scan_consistency=ctx.scan_consistency,
+        mutation_tokens=ctx.scan_tokens,
+    )
+    ctx.count("n1ql.indexscan")
+    cover_parts = getattr(op, "_cover_parts", None)
+    if cover_parts is None and op.covered:
+        cover_parts = [path.split(".") for path in op.cover_paths]
+        op._cover_parts = cover_parts
+    covered, alias = op.covered, op.alias
+    for start in range(0, len(rows), BATCH_SIZE):
+        batch = []
+        for key_values, doc_id in rows[start:start + BATCH_SIZE]:
+            env = Env()
+            if covered:
+                env.bind(alias, _cover_doc(cover_parts, key_values),
+                         {"id": doc_id})
+            else:
+                env.bind(alias, {"__pending_fetch__": doc_id},
+                         {"id": doc_id})
+            batch.append(env)
+        yield batch
+
+
+def run_primary_scan_batch(op: PrimaryScan, ctx: ExecutionContext) -> Batches:
+    if op.using != "gsi":
+        yield from _batched(run_primary_scan(op, ctx))
+        return
+    ctx.count("n1ql.primaryscan")
+    rows = ctx.cluster.gsi.scan(op.index_name,
+                                limit=_pushed_limit(op, ctx),
+                                scan_consistency=ctx.scan_consistency,
+                                mutation_tokens=ctx.scan_tokens)
+    covered, alias = getattr(op, "covered", False), op.alias
+    for start in range(0, len(rows), BATCH_SIZE):
+        batch = []
+        for _key_values, doc_id in rows[start:start + BATCH_SIZE]:
+            env = Env()
+            if covered:
+                env.bind(alias, {}, {"id": doc_id})
+            else:
+                env.bind(alias, {"__pending_fetch__": doc_id},
+                         {"id": doc_id})
+            batch.append(env)
+        yield batch
+
+
+def run_system_scan_batch(op, ctx: ExecutionContext) -> Batches:
+    yield from _batched(run_system_scan(op, ctx))
+
+
+def run_index_aggregate_batch(op, ctx: ExecutionContext) -> Batches:
+    # Merged groups are few; chunking the row executor is enough.
+    yield from _batched(run_index_aggregate(op, ctx))
+
+
+# ---------------------------------------------------------------------------
+# Fetch / Filter / Let
+# ---------------------------------------------------------------------------
+
+
+def run_fetch_batch(op: Fetch, ctx: ExecutionContext,
+                    batches: Batches) -> Batches:
+    state = FetchState(op, ctx)
+    for batch in batches:
+        buffered = []
+        for env in batch:
+            found, _value = env.lookup(op.alias)
+            if found:
+                buffered.append(env)
+        if not buffered:
+            continue
+        out = state.drain(buffered)
+        if out:
+            yield out
+
+
+def run_filter_batch(op: Filter, ctx: ExecutionContext,
+                     batches: Batches) -> Batches:
+    condition = _compiled(op, "_compiled_condition", op.condition, ctx)
+    ev = ctx.evaluator
+    for batch in batches:
+        kept = [env for env in batch if condition(env, ev) is True]
+        if kept:
+            yield kept
+
+
+def run_let_batch(op: LetOp, ctx: ExecutionContext,
+                  batches: Batches) -> Batches:
+    compiled = getattr(op, "_compiled_bindings", None)
+    if compiled is None:
+        alias = ctx.evaluator.default_alias
+        compiled = [(name, compile_expr(expr, alias))
+                    for name, expr in op.bindings]
+        op._compiled_bindings = compiled
+        ctx.count("n1ql.compile.count", len(compiled))
+    ev = ctx.evaluator
+    for batch in batches:
+        out = []
+        for env in batch:
+            child = env.child()
+            for name, fn in compiled:
+                child.bind(name, fn(child, ev))
+            out.append(child)
+        yield out
+
+
+# ---------------------------------------------------------------------------
+# Join family (output batches re-chunked: joins multiply rows)
+# ---------------------------------------------------------------------------
+
+
+def run_join_batch(op: JoinOp, ctx: ExecutionContext,
+                   batches: Batches) -> Batches:
+    on_keys = _compiled(op, "_compiled_on_keys", op.on_keys, ctx)
+    out: list[Env] = []
+    for batch in batches:
+        for env in batch:
+            keys = _on_keys_list(on_keys, ctx, env)
+            matched = False
+            for key in keys:
+                doc = ctx.fetch_doc(op.keyspace, key)
+                if doc is None:
+                    continue
+                matched = True
+                child = env.child()
+                child.bind(op.alias, doc.value, meta_dict(doc))
+                out.append(child)
+                if len(out) >= BATCH_SIZE:
+                    yield out
+                    out = []
+            if not matched and op.outer:
+                child = env.child()
+                child.bind(op.alias, MISSING)
+                out.append(child)
+                if len(out) >= BATCH_SIZE:
+                    yield out
+                    out = []
+    if out:
+        yield out
+
+
+def run_nest_batch(op: NestOp, ctx: ExecutionContext,
+                   batches: Batches) -> Batches:
+    on_keys = _compiled(op, "_compiled_on_keys", op.on_keys, ctx)
+    for batch in batches:
+        out = []
+        for env in batch:
+            keys = _on_keys_list(on_keys, ctx, env)
+            collected = []
+            for key in keys:
+                doc = ctx.fetch_doc(op.keyspace, key)
+                if doc is not None:
+                    collected.append(doc.value)
+            if collected:
+                child = env.child()
+                child.bind(op.alias, collected)
+                out.append(child)
+            elif op.outer:
+                child = env.child()
+                child.bind(op.alias, MISSING)
+                out.append(child)
+        if out:
+            yield out
+
+
+def run_unnest_batch(op: UnnestOp, ctx: ExecutionContext,
+                     batches: Batches) -> Batches:
+    unnest_fn = _compiled(op, "_compiled_expr", op.expr, ctx)
+    ev = ctx.evaluator
+    out: list[Env] = []
+    for batch in batches:
+        for env in batch:
+            value = unnest_fn(env, ev)
+            if isinstance(value, list) and value:
+                for item in value:
+                    child = env.child()
+                    child.bind(op.alias, item)
+                    out.append(child)
+                    if len(out) >= BATCH_SIZE:
+                        yield out
+                        out = []
+            elif op.outer:
+                child = env.child()
+                child.bind(op.alias, MISSING)
+                out.append(child)
+                if len(out) >= BATCH_SIZE:
+                    yield out
+                    out = []
+    if out:
+        yield out
+
+
+# ---------------------------------------------------------------------------
+# Grouping / ordering / pagination
+# ---------------------------------------------------------------------------
+
+
+def run_group_batch(op: GroupOp, ctx: ExecutionContext,
+                    batches: Batches) -> Batches:
+    group_fns, agg_entries = _group_compiled(op, ctx)
+    ev = ctx.evaluator
+    groups: dict[str, tuple[Env, list[Accumulator]]] = {}
+    order: list[str] = []
+    for batch in batches:
+        for env in batch:
+            values = [fn(env, ev) for fn in group_fns]
+            token = json.dumps(
+                [None if v is MISSING else ["$", _jsonable(v)]
+                 for v in values],
+                sort_keys=True,
+            )
+            entry = groups.get(token)
+            if entry is None:
+                entry = (env, [
+                    Accumulator(name, distinct)
+                    for _key, name, distinct, _star, _fn in agg_entries
+                ])
+                groups[token] = entry
+                order.append(token)
+            for spec, accumulator in zip(agg_entries, entry[1]):
+                _key, _name, _distinct, star, arg_fn = spec
+                accumulator.add(_COUNT_STAR if star else arg_fn(env, ev))
+
+    if not groups and not group_fns and agg_entries:
+        env = Env()
+        for key, name, distinct, _star, _fn in agg_entries:
+            env.bind(key, Accumulator(name, distinct).result())
+        yield [env]
+        return
+
+    batch = []
+    for token in order:
+        representative, accumulators = groups[token]
+        out = representative.child()
+        for spec, accumulator in zip(agg_entries, accumulators):
+            out.bind(spec[0], accumulator.result())
+        batch.append(out)
+        if len(batch) >= BATCH_SIZE:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def run_order_batch(op: OrderOp, ctx: ExecutionContext,
+                    batches: Batches) -> Batches:
+    key_of = getattr(op, "_compiled_key", None)
+    if key_of is None:
+        key_of = compile_sort_key(op.terms, ctx.evaluator.default_alias)
+        op._compiled_key = key_of
+        ctx.count("n1ql.compile.count", len(op.terms))
+    ev = ctx.evaluator
+    materialized = [env for batch in batches for env in batch]
+    materialized.sort(key=lambda env: key_of(env, ev))
+    ctx.count("n1ql.sorted_rows", len(materialized))
+    yield from _chunks(materialized)
+
+
+def run_offset_batch(op: OffsetOp, ctx: ExecutionContext,
+                     batches: Batches) -> Batches:
+    count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
+                                                            ctx.evaluator)
+    if not isinstance(count, (int, float)):
+        raise N1qlRuntimeError("OFFSET requires a number")
+    skip = int(count)
+    for batch in batches:
+        if skip:
+            if skip >= len(batch):
+                skip -= len(batch)
+                continue
+            batch = batch[skip:]
+            skip = 0
+        yield batch
+
+
+def run_limit_batch(op: LimitOp, ctx: ExecutionContext,
+                    batches: Batches) -> Batches:
+    count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
+                                                            ctx.evaluator)
+    if not isinstance(count, (int, float)):
+        raise N1qlRuntimeError("LIMIT requires a number")
+    remaining = int(count)
+    if remaining <= 0:
+        return
+    for batch in batches:
+        if len(batch) >= remaining:
+            yield batch[:remaining]
+            return
+        remaining -= len(batch)
+        yield batch
+
+
+# ---------------------------------------------------------------------------
+# Projection
+# ---------------------------------------------------------------------------
+
+
+def run_initial_project_batch(op: InitialProject, ctx: ExecutionContext,
+                              batches: Batches) -> Batches:
+    entries = _project_compiled(op, ctx)
+    ev = ctx.evaluator
+    raw_fn = entries[0][0] if op.raw else None
+    for batch in batches:
+        out_batch = []
+        for env in batch:
+            if op.raw:
+                value = raw_fn(env, ev)
+                result: Any = None if value is MISSING else value
+            else:
+                result = {}
+                unnamed = 0
+                for fn, name, star_of in entries:
+                    if fn is None:
+                        if star_of is not None:
+                            found, value = env.lookup(star_of)
+                            if found and isinstance(value, dict):
+                                result.update(value)
+                            continue
+                        for alias in reversed(env.aliases()):
+                            found, value = env.lookup(alias)
+                            if found and value is not MISSING:
+                                result[alias] = value
+                        continue
+                    value = fn(env, ev)
+                    if value is MISSING:
+                        continue
+                    if name is None:
+                        unnamed += 1
+                        key = f"${unnamed}"
+                    else:
+                        key = name
+                    result[key] = value
+            out = env.child()
+            out.bind("$result", result)
+            out_batch.append(out)
+        yield out_batch
+
+
+def run_distinct_batch(op: DistinctOp, ctx: ExecutionContext,
+                       batches: Batches) -> Batches:
+    seen: set[str] = set()
+    for batch in batches:
+        kept = []
+        for env in batch:
+            _found, result = env.lookup("$result")
+            token = json.dumps(result, sort_keys=True, default=str)
+            if token in seen:
+                continue
+            seen.add(token)
+            kept.append(env)
+        if kept:
+            yield kept
+
+
+def run_final_project_batch(op: FinalProject, ctx: ExecutionContext,
+                            batches: Batches) -> Iterator[list[Any]]:
+    for batch in batches:
+        yield [env.lookup("$result")[1] for env in batch]

@@ -25,6 +25,7 @@ from .plan import (
     Filter,
     FinalProject,
     GroupOp,
+    IndexAggregateScan,
     IndexScan,
     InitialProject,
     JoinOp,
@@ -277,6 +278,58 @@ def run_primary_scan(op: PrimaryScan, ctx: ExecutionContext) -> Rows:
         yield env
 
 
+def _finalize_partial(name: str, partial: list) -> Any:
+    """Turn a merged ``[count, total, best]`` partial state into the
+    aggregate's result, mirroring ``Accumulator.result()``."""
+    count, total, best = partial
+    if name == "COUNT":
+        return count
+    if name == "SUM":
+        return total if count else None
+    if name == "AVG":
+        return total / count if count else None
+    return None if best is MISSING else best  # MIN / MAX
+
+
+def run_index_aggregate(op: IndexAggregateScan,
+                        ctx: ExecutionContext) -> Rows:
+    """Covered GROUP BY served by the index nodes (section 5.1): each
+    partition pre-aggregates its rows, the GSI coordinator merges the
+    partial states, and this operator shapes each merged group into the
+    same env :func:`run_group` emits -- the alias bound to a document
+    reconstructed from the group keys plus the ``$agg:`` bindings."""
+    low, high, inclusive_low, inclusive_high = _evaluate_span(op.span, ctx)
+    groups = ctx.cluster.gsi.scan_aggregate(
+        op.index_name, low, high,
+        inclusive_low=inclusive_low, inclusive_high=inclusive_high,
+        group_positions=op.group_positions,
+        agg_specs=[(name, position)
+                   for _key, name, position in op.agg_entries],
+        scan_consistency=ctx.scan_consistency,
+        mutation_tokens=ctx.scan_tokens,
+    )
+    ctx.count("n1ql.aggscan")
+    cover_parts = getattr(op, "_group_cover_parts", None)
+    if cover_parts is None:
+        cover_parts = [path.split(".") for path in op.group_paths]
+        op._group_cover_parts = cover_parts
+    if not groups and not op.group_positions and op.agg_entries:
+        # Aggregates over an empty input still produce one row
+        # (COUNT(*) = 0, SUM = NULL, ...), exactly like run_group.
+        env = Env()
+        for key, name, _position in op.agg_entries:
+            env.bind(key, _finalize_partial(name, [0, 0, MISSING]))
+        yield env
+        return
+    for group_values, partials in groups:
+        env = Env()
+        env.bind(op.alias, _cover_doc(cover_parts, group_values),
+                 {"id": None})
+        for (key, name, _position), partial in zip(op.agg_entries, partials):
+            env.bind(key, _finalize_partial(name, partial))
+        yield env
+
+
 def run_system_scan(op, ctx: ExecutionContext) -> Rows:
     """Rows of a system catalog keyspace."""
     cluster = ctx.cluster
@@ -327,22 +380,44 @@ def run_system_scan(op, ctx: ExecutionContext) -> Rows:
 FETCH_BATCH = 64
 
 
-def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
-    """Resolve pending document fetches in node-grouped batches: the
-    operator buffers up to :data:`FETCH_BATCH` rows, issues one bulk
-    lookup for their keys (one RPC per node holding any of them), and
-    re-emits the rows in order.  Rows whose document vanished between
-    scan and fetch are dropped, as before."""
-    chunk: list[Env] = []
+class FetchState:
+    """Whole-operator fetch state, shared by the row and batch fetch
+    executors.
 
-    def drain(buffered: list[Env]) -> Rows:
-        keys = []
+    Fetched documents are cached for the life of the operator, so a key
+    appearing again -- in the same chunk or a later one -- reuses the
+    first fetch's snapshot instead of re-fetching (a re-fetch could
+    observe a concurrent mutation, making two rows for the same key
+    disagree mid-query), and every occurrence after the first gets a
+    fresh copy so duplicate rows never share mutable state.  The old
+    per-chunk bookkeeping applied copy-on-duplicate only within one
+    chunk; a duplicate landing in a later chunk was re-fetched."""
+
+    __slots__ = ("op", "ctx", "docs", "bound")
+
+    def __init__(self, op: Fetch, ctx: ExecutionContext):
+        self.op = op
+        self.ctx = ctx
+        #: key -> Document, or None once known absent.
+        self.docs: dict[str, Any] = {}
+        #: Keys already bound to at least one emitted row.
+        self.bound: set[str] = set()
+
+    def drain(self, buffered: list[Env]) -> list[Env]:
+        op, ctx, docs = self.op, self.ctx, self.docs
+        fresh: list[str] = []
         for env in buffered:
             _found, value = env.lookup(op.alias)
             if isinstance(value, dict) and "__pending_fetch__" in value:
-                keys.append(value["__pending_fetch__"])
-        docs = ctx.fetch_docs(op.keyspace, keys)
-        bound: set[str] = set()
+                key = value["__pending_fetch__"]
+                if key not in docs:
+                    docs[key] = None
+                    fresh.append(key)
+        if fresh:
+            found = ctx.fetch_docs(op.keyspace, fresh)
+            for key in fresh:
+                docs[key] = found.get(key)
+        out: list[Env] = []
         for env in buffered:
             _found, value = env.lookup(op.alias)
             if isinstance(value, dict) and "__pending_fetch__" in value:
@@ -350,23 +425,33 @@ def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
                 doc = docs.get(key)
                 if doc is None:
                     continue  # deleted between scan and fetch
-                if key in bound:
+                if key in self.bound:
                     doc = doc.copy()  # duplicate keys must not share state
-                bound.add(key)
+                self.bound.add(key)
                 env.bind(op.alias, doc.value, meta_dict(doc))
                 ctx.count("n1ql.fetch")
-            yield env
+            out.append(env)
+        return out
 
+
+def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
+    """Resolve pending document fetches in node-grouped batches: the
+    operator buffers up to :data:`FETCH_BATCH` rows, issues one bulk
+    lookup for their keys (one RPC per node holding any of them), and
+    re-emits the rows in order.  Rows whose document vanished between
+    scan and fetch are dropped, as before."""
+    state = FetchState(op, ctx)
+    chunk: list[Env] = []
     for env in rows:
         found, value = env.lookup(op.alias)
         if not found:
             continue
         chunk.append(env)
         if len(chunk) >= FETCH_BATCH:
-            yield from drain(chunk)
+            yield from state.drain(chunk)
             chunk = []
     if chunk:
-        yield from drain(chunk)
+        yield from state.drain(chunk)
 
 
 def run_filter(op: Filter, ctx: ExecutionContext, rows: Rows) -> Rows:

@@ -4,13 +4,21 @@ Section 4.5.2: "Once a query plan has been constructed ... the query
 service coordinates first with the index service and then with the data
 service.  The query results are streamed to the client as they become
 available."  The generator chain here is exactly that streaming shape.
+
+Two executor tables implement the same operator vocabulary: the
+row-at-a-time pipeline (one generator hop per Env) and the
+batch-vectorized pipeline of :mod:`repro.n1ql.batch` (one hop per
+:data:`~repro.n1ql.batch.BATCH_SIZE` rows).  ``batch.BATCH_ENABLED``
+selects between them per query; both yield the identical result stream.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterator
 
 from ..common.errors import N1qlRuntimeError
+from . import batch
 from .expressions import Env
 from .operators import (
     ExecutionContext,
@@ -19,6 +27,7 @@ from .operators import (
     run_filter,
     run_final_project,
     run_group,
+    run_index_aggregate,
     run_index_scan,
     run_initial_project,
     run_join,
@@ -38,6 +47,7 @@ from .plan import (
     Filter,
     FinalProject,
     GroupOp,
+    IndexAggregateScan,
     IndexScan,
     InitialProject,
     JoinOp,
@@ -49,16 +59,16 @@ from .plan import (
     OrderOp,
     PrimaryScan,
     QueryPlan,
+    SystemScan,
     UnnestOp,
 )
-
-from .plan import SystemScan
 
 _SOURCES = {
     KeyScan: run_key_scan,
     IndexScan: run_index_scan,
     PrimaryScan: run_primary_scan,
     SystemScan: run_system_scan,
+    IndexAggregateScan: run_index_aggregate,
 }
 
 _TRANSFORMS = {
@@ -77,28 +87,59 @@ _TRANSFORMS = {
     FinalProject: run_final_project,
 }
 
+_BATCH_SOURCES = {
+    KeyScan: batch.run_key_scan_batch,
+    IndexScan: batch.run_index_scan_batch,
+    PrimaryScan: batch.run_primary_scan_batch,
+    SystemScan: batch.run_system_scan_batch,
+    IndexAggregateScan: batch.run_index_aggregate_batch,
+}
 
-def execute_plan(plan: QueryPlan, ctx: ExecutionContext) -> Iterator[Any]:
-    """Run the pipeline; yields final result values."""
+_BATCH_TRANSFORMS = {
+    Fetch: batch.run_fetch_batch,
+    Filter: batch.run_filter_batch,
+    LetOp: batch.run_let_batch,
+    JoinOp: batch.run_join_batch,
+    NestOp: batch.run_nest_batch,
+    UnnestOp: batch.run_unnest_batch,
+    GroupOp: batch.run_group_batch,
+    OrderOp: batch.run_order_batch,
+    OffsetOp: batch.run_offset_batch,
+    LimitOp: batch.run_limit_batch,
+    InitialProject: batch.run_initial_project_batch,
+    DistinctOp: batch.run_distinct_batch,
+    FinalProject: batch.run_final_project_batch,
+}
+
+
+def _wire(plan: QueryPlan, ctx: ExecutionContext, sources: dict,
+          transforms: dict, empty_stream: Iterator) -> Iterator:
     operators = plan.operators
-    if not operators:
-        return iter(())
-    stream: Iterator = None  # type: ignore[assignment]
+    stream: Iterator = empty_stream
     start = 0
     first = operators[0]
-    source = _SOURCES.get(type(first))
+    source = sources.get(type(first))
     if source is not None:
         stream = source(first, ctx)
         start = 1
-    else:
-        # No FROM clause: a single empty row flows through the pipeline
-        # (SELECT 1+1 style).
-        stream = iter([Env()])
     for op in operators[start:]:
-        transform = _TRANSFORMS.get(type(op))
+        transform = transforms.get(type(op))
         if transform is None:
             raise N1qlRuntimeError(
                 f"no executor for plan operator {type(op).__name__}"
             )
         stream = transform(op, ctx, stream)
     return stream
+
+
+def execute_plan(plan: QueryPlan, ctx: ExecutionContext) -> Iterator[Any]:
+    """Run the pipeline; yields final result values."""
+    if not plan.operators:
+        return iter(())
+    if batch.BATCH_ENABLED:
+        # No FROM clause: a single empty row flows through the pipeline
+        # (SELECT 1+1 style).
+        batches = _wire(plan, ctx, _BATCH_SOURCES, _BATCH_TRANSFORMS,
+                        iter([[Env()]]))
+        return itertools.chain.from_iterable(batches)
+    return _wire(plan, ctx, _SOURCES, _TRANSFORMS, iter([Env()]))

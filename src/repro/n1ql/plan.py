@@ -106,6 +106,41 @@ class IndexScan(PlanOp):
 
 
 @dataclass
+class IndexAggregateScan(PlanOp):
+    """Covered GROUP BY pushed down to the index nodes (section 5.1's
+    pre-computed aggregates): each partition groups and partially
+    aggregates its own index rows, and the coordinator merges the
+    partial states -- rows never cross the fabric.  Replaces the
+    IndexScan (+ subsumed Filter) + Group prefix of the pipeline when
+    the planner proves every grouping key and aggregate argument is an
+    index key."""
+
+    alias: str
+    keyspace: str
+    index_name: str
+    span: ScanSpan
+    #: Dotted paths of the grouped index keys (for reconstructing a
+    #: covered document per group), aligned with ``group_positions``.
+    group_paths: list[str]
+    #: Positions of the grouping keys within the index key tuple.
+    group_positions: list[int]
+    #: Per aggregate: its ``$agg:`` binding key, the aggregate name, and
+    #: the argument's index-key position (None for COUNT(*), -1 for the
+    #: document id).
+    agg_entries: list[tuple[str, str, int | None]]
+
+    def describe(self) -> dict:
+        return {
+            "#operator": "IndexAggregateScan", "keyspace": self.keyspace,
+            "as": self.alias, "index": self.index_name,
+            "span": self.span.describe(),
+            "group_keys": list(self.group_paths),
+            "aggregates": [key[len("$agg:"):]
+                           for key, _name, _position in self.agg_entries],
+        }
+
+
+@dataclass
 class SystemScan(PlanOp):
     """Scan of a system catalog keyspace (system:indexes,
     system:keyspaces, system:nodes) -- the query catalog surface of

@@ -32,12 +32,14 @@ from ..common.errors import NoSuitableIndexError, N1qlSemanticError
 from .catalog import Catalog
 from .collation import MISSING
 from .expressions import collect_aggregates
+from .functions import is_aggregate
 from .plan import (
     DistinctOp,
     Fetch,
     Filter,
     FinalProject,
     GroupOp,
+    IndexAggregateScan,
     IndexScan,
     InitialProject,
     JoinOp,
@@ -52,7 +54,7 @@ from .plan import (
     ScanSpan,
     UnnestOp,
 )
-from .printer import path_of
+from .printer import path_of, print_expr
 from .syntax import (
     Between,
     Binary,
@@ -369,7 +371,12 @@ class Planner:
         )
         aggregates = collect_aggregates(aggregate_sources)
         if statement.group_by or aggregates:
-            operators.append(GroupOp(statement.group_by, aggregates))
+            pushed = self._push_group_to_index(statement, operators,
+                                               aggregates)
+            if pushed is not None:
+                operators = pushed
+            else:
+                operators.append(GroupOp(statement.group_by, aggregates))
         if statement.having is not None:
             operators.append(Filter(statement.having))
 
@@ -411,6 +418,159 @@ class Planner:
         if statement.offset is not None:
             limit = Binary("+", limit, statement.offset)
         scan.limit = limit
+
+    def _push_group_to_index(self, statement, operators,
+                             aggregates) -> list | None:
+        """Partial-aggregate pushdown (section 5.1): replace a covering
+        IndexScan (+ fully subsumed Filter) + Group prefix with an
+        IndexAggregateScan, so each index partition groups and partially
+        aggregates its own rows and only group summaries cross the
+        fabric.  Returns the replacement operator list, or None when the
+        rewrite cannot be proven safe.
+
+        Requirements, all planner-proven:
+
+        * the pipeline head is exactly a covering GSI scan, optionally
+          followed by the WHERE Filter the scan span already subsumes
+          (so dropping it loses nothing);
+        * every grouping expression is a *leading prefix* of the index
+          keys, in clause order -- that makes the coordinator's merged
+          (collation) order identical to the row pipeline's first-seen
+          order, since a covering scan sees rows in key order;
+        * every aggregate is a non-DISTINCT COUNT/SUM/AVG/MIN/MAX whose
+          argument is an index key or meta().id, so the node can fold it
+          into a mergeable [count, total, best] partial;
+        * everything else the statement references (projections, HAVING,
+          ORDER BY) only touches grouping keys, which the scan
+          reconstructs into a covered document per group.
+        """
+        if statement.joins or statement.let_bindings:
+            return None
+        scan = operators[0] if operators else None
+        if isinstance(scan, IndexScan):
+            if scan.using != "gsi" or not scan.covered:
+                return None
+        elif isinstance(scan, PrimaryScan):
+            if scan.using != "gsi" or not scan.covered:
+                return None
+        else:
+            return None
+        if not getattr(scan, "_filter_subsumed", False):
+            return None
+        rest = operators[1:]
+        if rest and not (len(rest) == 1 and isinstance(rest[0], Filter)):
+            return None
+        meta = self.catalog.cluster.manager.index_registry.get(scan.index_name)
+        if meta is None or meta.definition.array_component is not None:
+            return None
+        key_sources = meta.definition.key_sources
+        alias = statement.from_term.alias
+        analysis = self._aggregate_pushdown_analysis(
+            statement, alias, key_sources, aggregates)
+        if analysis is None:
+            return None
+        group_paths, group_positions, agg_entries = analysis
+        span = (scan.span if isinstance(scan, IndexScan)
+                else ScanSpan(low=None, high=None))
+        return [IndexAggregateScan(alias, scan.keyspace, scan.index_name,
+                                   span, group_paths, group_positions,
+                                   agg_entries)]
+
+    def _aggregate_pushdown_analysis(self, statement, alias, key_sources,
+                                     aggregates):
+        """Prove the GROUP BY / aggregate list is computable from index
+        keys alone; returns (group_paths, group_positions, agg_entries)
+        or None."""
+        group_paths: list[str] = []
+        group_positions: list[int] = []
+        for expr in statement.group_by:
+            path = path_of(expr, strip_alias=alias)
+            if path is None or path == "meta().id" \
+                    or path not in key_sources:
+                return None
+            group_paths.append(path)
+            group_positions.append(key_sources.index(path))
+        # Prefix-in-order: merged collation order == row first-seen order.
+        if group_positions != list(range(len(group_positions))):
+            return None
+        agg_entries: list[tuple[str, str, int | None]] = []
+        for aggregate in aggregates:
+            if aggregate.distinct \
+                    or aggregate.name not in ("COUNT", "SUM", "AVG",
+                                              "MIN", "MAX"):
+                return None
+            if aggregate.star:
+                position: int | None = None
+            else:
+                path = path_of(aggregate.args[0], strip_alias=alias)
+                if path == "meta().id":
+                    position = -1
+                elif path in key_sources:
+                    position = key_sources.index(path)
+                else:
+                    return None
+            agg_entries.append(("$agg:" + print_expr(aggregate),
+                                aggregate.name, position))
+        plain = self._non_aggregate_paths(statement, alias)
+        if plain is None or not plain <= set(group_paths):
+            return None
+        return group_paths, group_positions, agg_entries
+
+    def _non_aggregate_paths(self, statement, alias) -> set[str] | None:
+        """Paths referenced outside aggregate arguments in the parts of
+        the statement that run *after* grouping (projections, HAVING,
+        ORDER BY).  The row pipeline evaluates these against each
+        group's representative row; the pushed plan only reconstructs
+        the grouping keys, so anything beyond them blocks the rewrite.
+        None means analysis is impossible (whole-document reference)."""
+        paths: set[str] = set()
+        impossible = [False]
+
+        def walk(node):
+            if node is None or isinstance(node, (Literal, Parameter)):
+                return
+            if isinstance(node, Identifier):
+                if node.name == alias:
+                    impossible[0] = True
+                else:
+                    paths.add(node.name)
+                return
+            if isinstance(node, FieldAccess):
+                path = path_of(node, strip_alias=alias)
+                if path is not None:
+                    paths.add(path)
+                    return
+                walk(node.base)
+                return
+            if isinstance(node, FunctionCall):
+                if is_aggregate(node.name):
+                    return  # argument is folded on the index nodes
+                if node.name == "META":
+                    paths.add("meta().id")
+                    return
+                for arg in node.args:
+                    walk(arg)
+                return
+            for attr in getattr(node, "__dataclass_fields__", {}):
+                value = getattr(node, attr)
+                if isinstance(value, (list, tuple)):
+                    for item in value:
+                        if not isinstance(item, (str, bool, int, float)):
+                            walk(item)
+                elif not isinstance(value, (str, bool, int, float,
+                                            type(None))):
+                    walk(value)
+
+        for projection in statement.projections:
+            if projection.expr is None:
+                return None  # '*' needs the whole document
+            walk(projection.expr)
+        walk(statement.having)
+        for term in self._resolve_order_aliases(statement):
+            walk(term.expr)
+        if impossible[0]:
+            return None
+        return paths
 
     def _index_provides_order(self, statement, operators,
                               order_terms) -> bool:

@@ -109,7 +109,11 @@ def path_of(expr: Expr, strip_alias: str | None = None) -> str | None:
     if isinstance(node, Identifier):
         parts.append(node.name)
     elif (isinstance(node, FunctionCall) and node.name == "META"
-          and not node.args and parts and parts[-1] == "id"):
+          and (not node.args
+               or (strip_alias is not None and len(node.args) == 1
+                   and isinstance(node.args[0], Identifier)
+                   and node.args[0].name == strip_alias))
+          and parts and parts[-1] == "id"):
         # meta().id is an indexable "path" too (primary indexes).
         parts.append("meta().id")
         parts.pop(0) if False else None

@@ -225,6 +225,43 @@ def _run_xdcr(policy: SchedulePolicy) -> RunOutcome:
                     observations={"converged": converged})
 
 
+# -- scatter-gather-query ---------------------------------------------------------
+
+
+def _run_scatter_gather(policy: SchedulePolicy) -> RunOutcome:
+    """N1QL over a partitioned GSI index: the parallel scatter-gather
+    scan fans out to every partition and k-way merges the streams, and
+    the partial-aggregate pushdown merges per-partition group partials.
+    Whatever order the index pumps drained mutations in, the merged row
+    stream -- order included -- and the merged aggregates must be
+    identical."""
+    cluster = sanitized_cluster(
+        "sg", policy, vbuckets=8,
+        nodes=[("sg1", _ALL), ("sg2", _ALL), ("sg3", _ALL)],
+    )
+    cluster.create_bucket("b", replicas=1)
+    client = cluster.connect()
+    for i in range(24):
+        client.upsert("b", f"k{i:02d}", {"v": i % 5, "w": i})
+    for i in range(0, 24, 6):
+        client.upsert("b", f"k{i:02d}", {"v": i % 5, "w": i + 100})
+    for i in range(3, 24, 8):
+        client.remove("b", f"k{i:02d}")
+    cluster.run_until_idle()
+    cluster.query('CREATE INDEX by_v ON b(v, w) USING GSI '
+                  'WITH {"num_partitions": 3}')
+    ordered = cluster.query(
+        "SELECT v, w FROM b x WHERE x.v >= 0 ORDER BY x.v LIMIT 10",
+        scan_consistency="request_plus").rows
+    grouped = cluster.query(
+        "SELECT v, COUNT(*) AS n, SUM(x.w) AS total FROM b x "
+        "WHERE x.v >= 0 GROUP BY v",
+        scan_consistency="request_plus").rows
+    return _outcome(("sg", cluster), observations={
+        "ordered": ordered, "grouped": grouped,
+    })
+
+
 # -- overload-quota ---------------------------------------------------------------
 
 
@@ -294,6 +331,12 @@ def builtin_scenarios() -> list[Scenario]:
             "xdcr-bidirectional",
             "bidirectional XDCR conflict resolution converges identically",
             _run_xdcr,
+        ),
+        Scenario(
+            "scatter-gather-query",
+            "partitioned-index scatter-gather scan and aggregate "
+            "pushdown merge identically under any order",
+            _run_scatter_gather,
         ),
         Scenario(
             "overload-quota",
