@@ -1,0 +1,95 @@
+"""Bench-trajectory gate: fail CI when the query pipeline slows down.
+
+Compares the p50 service time per mode in a freshly emitted
+``BENCH_query_pipeline.json`` against the committed baseline under
+``benchmarks/baselines/`` and exits 1 if any mode regressed more than
+the threshold (default 25%).  Getting *faster* never fails; the gate is
+a one-sided trajectory check, not a reproducibility assertion -- the
+absolute numbers move with the host, which is why the tolerance is wide
+and the comparison is per mode rather than against a wall-clock budget.
+
+Usage::
+
+    python benchmarks/check_bench_trajectory.py \
+        BENCH_query_pipeline.json benchmarks/baselines/BENCH_query_pipeline.json
+
+Exit status mirrors the analysis gates: 0 within bounds, 1 regression,
+2 usage error (missing or malformed files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+
+
+class TrajectoryFormatError(Exception):
+    """Malformed or incomplete bench report (usage error, exit 2)."""
+
+
+def load_modes(path: Path) -> dict[str, float]:
+    report = json.loads(path.read_text())
+    modes = report.get("modes")
+    if not isinstance(modes, dict) or not modes:
+        raise TrajectoryFormatError(f"{path}: no 'modes' section")
+    p50s = {}
+    for label, stats in modes.items():
+        p50 = stats.get("p50_us")
+        if not isinstance(p50, (int, float)) or p50 <= 0:
+            raise TrajectoryFormatError(
+                f"{path}: mode {label!r} has no positive p50_us")
+        p50s[label] = float(p50)
+    return p50s
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when emitted bench p50s regress past the "
+                    "committed baseline.")
+    parser.add_argument("emitted", help="freshly emitted bench JSON")
+    parser.add_argument("baseline", help="committed baseline bench JSON")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional p50 regression per mode "
+                             "(default 0.25 = +25%%)")
+    args = parser.parse_args(argv)
+
+    try:
+        emitted = load_modes(Path(args.emitted))
+        baseline = load_modes(Path(args.baseline))
+    except (OSError, TrajectoryFormatError,
+            json.JSONDecodeError) as exc:
+        print(f"bench-trajectory: {exc}", file=sys.stderr)
+        return 2
+
+    missing = sorted(set(baseline) - set(emitted))
+    if missing:
+        print(f"bench-trajectory: emitted report lacks mode(s) "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    regressed = False
+    for label in sorted(baseline):
+        base = baseline[label]
+        seen = emitted[label]
+        delta = seen / base - 1.0
+        status = "ok"
+        if delta > args.threshold:
+            status = "REGRESSED"
+            regressed = True
+        print(f"  {label:<18} p50 {base:8.0f} us -> {seen:8.0f} us "
+              f"({delta:+6.1%})  {status}")
+    if regressed:
+        print(f"bench-trajectory: p50 regression above "
+              f"{args.threshold:.0%} threshold", file=sys.stderr)
+        return 1
+    print(f"bench-trajectory: all modes within {args.threshold:.0%} "
+          f"of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

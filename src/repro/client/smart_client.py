@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
+from ..common.costmodel import cost, hot_path
 from ..common.document import Document
 from ..common.errors import (
     AdmissionRejectedError,
@@ -129,6 +130,8 @@ class SmartClient:
         self._maps[bucket] = cluster_map
         return cluster_map
 
+    @hot_path
+    @cost("O(log n)")
     def _call(self, bucket: str, key: str, method: str, *args) -> Any:
         """Route one KV op through the admission front door (when wired)
         and to the key's active node."""
@@ -168,6 +171,9 @@ class SmartClient:
                         retry_after=breaker.remaining(),
                     )
                 try:
+                    # One logical RPC; the enclosing loop is a bounded
+                    # MAX_RETRIES topology-retry, not per-item fan-out.
+                    # repro-hotpath: disable-next=n-plus-one-rpc
                     result = self.network.call(
                         self.name, node, method, bucket, vbucket_id, key, *args
                     )
@@ -350,6 +356,8 @@ class SmartClient:
                 groups.setdefault(node, []).append((vbucket_id, key))
         return groups, unassigned
 
+    @hot_path
+    @cost("O(n)")
     def _multi_call(self, bucket: str, method: str,
                     keys: list[str],
                     payload: dict[str, dict] | None = None) -> BatchResult:
@@ -419,6 +427,9 @@ class SmartClient:
                         for vbucket_id, key in items
                     ]
                 try:
+                    # This IS the batched path: one multi_* RPC per
+                    # node, looping over nodes -- not per key.
+                    # repro-hotpath: disable-next=n-plus-one-rpc
                     outcomes = self.network.call(
                         self.name, node, method, bucket, request
                     )
@@ -542,6 +553,23 @@ class SmartClient:
         pairs = dict(items.items() if isinstance(items, Mapping) else items)
         payload = {
             key: {"kind": "upsert",
+                  "kwargs": {"value": value, "expiry": expiry, "flags": flags}}
+            for key, value in pairs.items()
+        }
+        return self._multi_call(bucket, "kv_multi_mutate",
+                                list(pairs), payload)
+
+    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
+    def multi_insert(self, bucket: str,
+                     items: Mapping[str, JsonValue] | Iterable[tuple[str, JsonValue]],
+                     *, expiry: float = 0.0, flags: int = 0) -> BatchResult:
+        """Create many documents, one ``kv_multi_mutate`` RPC per
+        destination node.  A key that already exists surfaces its
+        ``KeyExistsError`` in ``errors`` without affecting the rest of
+        the batch (unlike :meth:`multi_upsert`, which overwrites)."""
+        pairs = dict(items.items() if isinstance(items, Mapping) else items)
+        payload = {
+            key: {"kind": "insert",
                   "kwargs": {"value": value, "expiry": expiry, "flags": flags}}
             for key, value in pairs.items()
         }

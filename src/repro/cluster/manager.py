@@ -219,6 +219,9 @@ class ClusterManager:
             if name in self.ejected:
                 continue
             try:
+                # Control plane: one RPC per *node* on a map change,
+                # O(nodes) and rare -- not per-document fan-out.
+                # repro-hotpath: disable-next=n-plus-one-rpc
                 self.network.call("cluster-manager", name, "apply_cluster_map",
                                   bucket, cluster_map)
             # Down nodes pick the map up from the manager when they reconnect.
@@ -286,6 +289,9 @@ class ClusterManager:
             # demote its vBuckets so it cannot serve stale data to a
             # client holding an old map.
             try:
+                # One demotion RPC per bucket during a failover -- a rare
+                # control-plane event bounded by bucket count.
+                # repro-hotpath: disable-next=n-plus-one-rpc
                 self.network.call("cluster-manager", node_name,
                                   "apply_cluster_map", bucket, new_map)
             # Demotion is best-effort: a truly dead node has nothing to demote.

@@ -272,7 +272,8 @@ class Node:
         target node rejects pushes like any other RPC."""
         return self.engine(bucket).set_with_meta(vbucket_id, doc)
 
-    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError')
     def kv_reset_replica(self, bucket: str, vbucket_id: int) -> None:
         """Blow away a divergent replica so replication can rebuild it
         from seqno 0 (the rollback-to-zero recovery path)."""

@@ -3,6 +3,7 @@ cooperative scheduler, the simulated disk, the in-process network, CRC32
 key hashing, and metrics."""
 
 from .clock import Clock, VirtualClock
+from .costmodel import cost, hot_path
 from .crc import crc32, vbucket_for_key
 from .disk import DiskStats, SimulatedDisk, SimulatedFile
 from .document import Document, DocumentMeta
@@ -36,11 +37,13 @@ __all__ = [
     "SimulatedDisk",
     "SimulatedFile",
     "VirtualClock",
+    "cost",
     "crc32",
     "decode",
     "deep_copy",
     "encode_canonical",
     "get_path",
+    "hot_path",
     "is_json_value",
     "set_path",
     "sizeof",

@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections import deque
 
 from ..common import tracing
+from ..common.costmodel import cost, hot_path
 from ..common.errors import StreamRollbackRequired
 from ..kv.engine import KVEngine, VBucket
 from ..kv.types import VBucketState
@@ -38,7 +40,10 @@ class DcpStream:
         self.last_seqno = start_seqno
         self.end_seqno = end_seqno
         self.closed = False
-        self._pending: list[DcpMessage] = []
+        # deque, not list: backfill parks the entire persisted history
+        # here, and take() drains from the left -- list.pop(0) would
+        # shift the whole backlog per message (quadratic per stream).
+        self._pending: deque[DcpMessage] = deque()
         #: Stable per-run identity for the write-race tracker: the first
         #: pump to take() from this stream owns it; anyone else taking
         #: from the same stream is stealing a peer's queue.
@@ -55,6 +60,8 @@ class DcpStream:
         """True when the consumer has everything the vBucket has."""
         return self.last_seqno >= self.vb.high_seqno
 
+    @hot_path
+    @cost("O(n)")
     def take(self, max_items: int = 64) -> list[DcpMessage]:
         """Return up to ``max_items`` messages (snapshot markers are free).
 
@@ -70,7 +77,7 @@ class DcpStream:
                 self._refill()
             if not self._pending:
                 break
-            message = self._pending.pop(0)
+            message = self._pending.popleft()
             out.append(message)
             if isinstance(message, (Mutation, Deletion)):
                 self.last_seqno = message.seqno
@@ -150,6 +157,8 @@ class DcpProducer:
         self.name = name
         self._stream_seq = itertools.count(1)
 
+    @hot_path
+    @cost("O(n)")
     def stream_request(
         self,
         vbucket_id: int,

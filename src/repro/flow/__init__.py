@@ -25,6 +25,7 @@ from .callgraph import CallEdge, CallGraph, build_callgraph
 from .deadcode import analyze_dead_code
 from .excflow import analyze_exceptions
 from .findings import FlowFinding
+from .hotset import HotSet, declared_cost, derive_hot_set, is_hot_root
 from .layers import analyze_layers
 from .options import analyze_options
 from .project import Project
@@ -33,10 +34,14 @@ __all__ = [
     "CallEdge",
     "CallGraph",
     "FlowFinding",
+    "HotSet",
     "Project",
     "analyze_dead_code",
     "analyze_exceptions",
     "analyze_layers",
     "analyze_options",
     "build_callgraph",
+    "declared_cost",
+    "derive_hot_set",
+    "is_hot_root",
 ]

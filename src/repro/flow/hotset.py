@@ -1,0 +1,137 @@
+"""Hot-set derivation: which functions are performance-critical?
+
+The hot set is the transitive call-graph closure of the tree's declared
+**hot roots**:
+
+* functions carrying the ``@hot_path`` decorator
+  (:mod:`repro.common.costmodel`) -- KV engine ops, the smart client's
+  RPC senders, the N1QL operator bodies, DCP stream steps;
+* every pump or timer callable registered on the
+  :class:`~repro.common.scheduler.Scheduler` (read off the call graph's
+  :class:`~repro.flow.callgraph.PumpRegistration` records, so a pump
+  does not need a decorator to be guarded).
+
+Closure walks ``call``/``method``/``rpc``/``partial``/``pump``/``timer``
+edges -- everything that can actually execute on behalf of a hot caller.
+``ref`` edges (a bound method stored without being called) are excluded:
+storing a reference is not running it.
+
+This module is deliberately part of ``repro.flow`` rather than
+``repro.hotpath``: the hot set is a property of the call graph, and
+other analyses (or an ad-hoc report) can reuse it without importing the
+cost rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph
+from .project import FuncInfo, Project
+
+#: Edge kinds that transfer execution to the callee.  ``ref`` is
+#: reachability-only and would drag cold helper code into the hot set.
+EXECUTING_KINDS = frozenset({"call", "method", "rpc", "partial", "pump",
+                             "timer"})
+
+
+def _decorator_name(dec: ast.expr) -> str | None:
+    node = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def declared_cost(func: FuncInfo) -> str | None:
+    """The ``@cost("...")`` bound declared on ``func``, or None.
+
+    Read statically off the decorator AST so fixture trees (and code
+    that stubs :mod:`repro.common.costmodel`) analyze without import.
+    """
+    for dec in func.decorators:
+        if (_decorator_name(dec) == "cost" and isinstance(dec, ast.Call)
+                and dec.args and isinstance(dec.args[0], ast.Constant)
+                and isinstance(dec.args[0].value, str)):
+            return dec.args[0].value
+    return None
+
+
+def is_hot_root(func: FuncInfo) -> bool:
+    """True when ``func`` carries the ``@hot_path`` decorator."""
+    return any(_decorator_name(dec) == "hot_path"
+               for dec in func.decorators)
+
+
+@dataclass
+class HotSet:
+    """The derived hot set plus enough provenance to explain it."""
+
+    #: root fqn -> why it is a root ("@hot_path" or "pump:<name>").
+    roots: dict[str, str] = field(default_factory=dict)
+    #: every hot function, roots included.
+    members: set[str] = field(default_factory=set)
+    #: member fqn -> the caller that pulled it in (None for roots);
+    #: following this chain reaches a root, which is the explanation a
+    #: finding prints ("hot via KVEngine.multi_get <- SmartClient._call").
+    pulled_in_by: dict[str, str | None] = field(default_factory=dict)
+
+    def __contains__(self, fqn: str) -> bool:
+        return fqn in self.members
+
+    def why(self, fqn: str, limit: int = 4) -> str:
+        """Short provenance chain from ``fqn`` back to its root."""
+        chain = [fqn]
+        seen = {fqn}
+        while True:
+            parent = self.pulled_in_by.get(chain[-1])
+            if parent is None or parent in seen:
+                break
+            chain.append(parent)
+            seen.add(parent)
+        root = chain[-1]
+        reason = self.roots.get(root, "@hot_path")
+        shown = chain[:limit]
+        tail = " <- ".join(name.rsplit(".", 1)[-1] for name in shown[1:])
+        origin = f"{reason} root {_short(root)}"
+        if len(chain) == 1:
+            return origin
+        return f"{origin} via {tail}" if tail else origin
+
+
+def _short(fqn: str) -> str:
+    parts = fqn.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else fqn
+
+
+def derive_hot_set(project: Project, graph: CallGraph) -> HotSet:
+    """Collect the hot roots and close over executing call edges."""
+    hot = HotSet()
+    for fqn, func in project.functions.items():
+        if is_hot_root(func):
+            hot.roots[fqn] = "@hot_path"
+    for registration in graph.pumps:
+        if registration.target in project.functions:
+            hot.roots.setdefault(
+                registration.target,
+                f"{registration.kind}:{registration.name or '<dynamic>'}",
+            )
+
+    frontier = sorted(hot.roots)
+    for fqn in frontier:
+        hot.members.add(fqn)
+        hot.pulled_in_by[fqn] = None
+    while frontier:
+        caller = frontier.pop()
+        for edge in graph.out_edges(caller):
+            if edge.kind not in EXECUTING_KINDS:
+                continue
+            callee = edge.callee
+            if callee in hot.members or callee not in project.functions:
+                continue
+            hot.members.add(callee)
+            hot.pulled_in_by[callee] = caller
+            frontier.append(callee)
+    return hot

@@ -310,6 +310,9 @@ class GsiCoordinator:
             # its own round trip and materialized in full before the
             # k-way merge.
             partials = [
+                # Deliberate: this branch exists to measure serial
+                # fan-out against the parallel default (ablation knob).
+                # repro-hotpath: disable-next=n-plus-one-rpc
                 self.cluster.network.call(
                     "gsi-coordinator", node_name, "gsi_scan", name,
                     low, high, inclusive_low, inclusive_high, descending,
@@ -350,6 +353,9 @@ class GsiCoordinator:
             yield from rows
             if exhausted or not rows:
                 return
+            # One RPC per *page*, pulled only when the merge frontier
+            # drains past the buffer -- paging is the point here.
+            # repro-hotpath: disable-next=n-plus-one-rpc
             rows, exhausted = self.cluster.network.call(
                 "gsi-coordinator", node_name, "gsi_scan_page", name,
                 low, high, inclusive_low, inclusive_high, descending,
@@ -451,6 +457,9 @@ class GsiCoordinator:
                 best = 0
                 for node_name in dict.fromkeys(meta.nodes):
                     try:
+                        # Consistency barrier polls one watermark RPC
+                        # per index replica node -- bounded by replicas.
+                        # repro-hotpath: disable-next=n-plus-one-rpc
                         watermarks = self.cluster.network.call(
                             "gsi-coordinator", node_name,
                             "gsi_watermarks", meta.definition.name,

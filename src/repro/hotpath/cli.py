@@ -1,0 +1,169 @@
+"""Command line front end: ``python -m repro.hotpath [paths...]``.
+
+Exit status mirrors repro-lint/sanitize/flow: 0 clean, 1 findings, 2
+usage errors -- one contract for every gate in CI.  Suppressions are
+``# repro-hotpath: disable=<check>`` (or ``disable-next=``) with a short
+justification expected on the same or neighboring line.
+
+``--report hot-set`` prints the derived hot set with provenance (which
+root pulled each function in) and exits 0 -- the intended way to answer
+"is this function guarded?" before relying on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..analysis import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    FORMATS,
+    PROFILES,
+    discover,
+    github_annotation,
+    parse_suppressions,
+    profile_for,
+    suppressed,
+)
+from ..common.errors import InvalidArgumentError
+from ..flow.callgraph import build_callgraph
+from ..flow.project import Project
+from .analyze import ALL_CHECKS, analyze
+from .findings import HotFinding
+
+TOOL = "repro-hotpath"
+
+#: Checks the relaxed profile (fixture trees, harness code analyzed
+#: without --profile strict) does not enforce: demo code may mark a hot
+#: root without committing to a cost contract.
+RELAXED_EXEMPT = frozenset({"cost-undeclared"})
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.hotpath",
+        description="Static cost analysis of the tree's hot paths: "
+                    "derives the hot set from @hot_path roots and "
+                    "scheduler pumps, then checks per-function cost "
+                    "rules and @cost contracts.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze as one program "
+             "(default: src/repro)",
+    )
+    parser.add_argument(
+        "--check", metavar="NAME[,NAME...]", default=None,
+        help=f"run only these checks (of: {', '.join(ALL_CHECKS)})",
+    )
+    parser.add_argument(
+        "--profile", choices=("auto",) + PROFILES, default="auto",
+        help="auto (default) is strict under src/repro and relaxed "
+             "elsewhere; relaxed does not require @cost declarations "
+             "on hot roots",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="output_format",
+        help="text (default) prints path:line:col lines; github emits "
+             "::error workflow commands that become inline PR annotations",
+    )
+    parser.add_argument(
+        "--report", choices=("hot-set",), default=None,
+        help="print the derived hot set with provenance instead of "
+             "running the checks (informational; always exits 0)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def _selected(arg: str | None) -> frozenset[str]:
+    if arg is None:
+        return frozenset(ALL_CHECKS)
+    names = tuple(name.strip() for name in arg.split(",") if name.strip())
+    unknown = [name for name in names if name not in ALL_CHECKS]
+    if unknown:
+        raise InvalidArgumentError(
+            f"unknown check {', '.join(unknown)} "
+            f"(choose from {', '.join(ALL_CHECKS)})"
+        )
+    return frozenset(names)
+
+
+def _keep(finding: HotFinding, suppressions_by_path: dict,
+          requested: str) -> bool:
+    if suppressed(finding.check, finding.line,
+                  suppressions_by_path.get(finding.path, {})):
+        return False
+    profile = profile_for(Path(finding.path), requested)
+    if profile == "relaxed" and finding.check in RELAXED_EXEMPT:
+        return False
+    return True
+
+
+def _print_finding(finding: HotFinding, output_format: str) -> None:
+    if output_format == "github":
+        print(github_annotation(
+            finding.message, title=f"{TOOL}: {finding.check}",
+            path=finding.path, line=finding.line, col=finding.col,
+        ))
+    else:
+        print(finding.format())
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        checks = _selected(args.check)
+    except InvalidArgumentError as exc:
+        print(f"{TOOL}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    files = discover(args.paths)
+    if not files:
+        print(f"{TOOL}: no Python files under {args.paths}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    project = Project.build(Path(f) for f in files)
+    if project.parse_errors:
+        for path, line, message in project.parse_errors:
+            print(f"{TOOL}: {path}:{line}: {message}", file=sys.stderr)
+        return EXIT_USAGE
+    graph = build_callgraph(project)
+    result = analyze(project, graph, checks)
+
+    if args.report == "hot-set":
+        for fqn in sorted(result.hotset.members):
+            func = project.functions.get(fqn)
+            line = func.line if func else 0
+            print(f"{fqn}:{line}: {result.hotset.why(fqn)}")
+        if not args.quiet:
+            print(f"{TOOL}: {len(result.hotset.members)} hot functions "
+                  f"from {len(result.hotset.roots)} roots "
+                  f"(informational; not a gate)")
+        return EXIT_CLEAN
+
+    suppressions_by_path = {
+        module.path: parse_suppressions(module.source_lines, TOOL)
+        for module in project.modules.values()
+    }
+    findings = [f for f in result.findings
+                if _keep(f, suppressions_by_path, args.profile)]
+    for finding in findings:
+        _print_finding(finding, args.output_format)
+    if not args.quiet:
+        print(
+            f"{TOOL}: {len(findings)} finding"
+            f"{'' if len(findings) == 1 else 's'} in {len(files)} files "
+            f"({len(result.hotset.members)} hot functions from "
+            f"{len(result.hotset.roots)} roots)"
+        )
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

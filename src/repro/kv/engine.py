@@ -20,6 +20,7 @@ import itertools
 from typing import Callable, Iterator
 
 from ..common import tracing
+from ..common.costmodel import cost, hot_path
 from ..common.clock import Clock, VirtualClock
 from ..common.disk import SimulatedDisk
 from ..common.document import Document, DocumentMeta
@@ -300,6 +301,8 @@ class KVEngine:
 
     # -- public KV API (section 3.1.1) -------------------------------------------
 
+    @hot_path
+    @cost("O(log n)")
     def get(self, vbucket_id: int, key: str) -> Document:
         vb = self._active(vbucket_id)
         entry = self._live_entry(vb, key)
@@ -317,6 +320,8 @@ class KVEngine:
         self.metrics.inc("kv.gets")
         return entry.doc.copy()
 
+    @hot_path
+    @cost("O(log n)")
     def upsert(self, vbucket_id: int, key: str, value: JsonValue, *,
                cas: int = 0, expiry: float = 0.0, flags: int = 0) -> MutationResult:
         """The memcached SET: create or replace."""
@@ -332,6 +337,8 @@ class KVEngine:
         self._apply_mutation(vb, doc)
         return MutationResult(doc.meta.cas, doc.meta.seqno, vb.id)
 
+    @hot_path
+    @cost("O(log n)")
     def insert(self, vbucket_id: int, key: str, value: JsonValue, *,
                expiry: float = 0.0, flags: int = 0) -> MutationResult:
         """The memcached ADD: fails if the key exists."""
@@ -340,6 +347,8 @@ class KVEngine:
             raise KeyExistsError(key)
         return self.upsert(vbucket_id, key, value, expiry=expiry, flags=flags)
 
+    @hot_path
+    @cost("O(log n)")
     def replace(self, vbucket_id: int, key: str, value: JsonValue, *,
                 cas: int = 0, expiry: float = 0.0, flags: int = 0) -> MutationResult:
         """The memcached REPLACE: fails unless the key exists."""
@@ -349,6 +358,8 @@ class KVEngine:
         return self.upsert(vbucket_id, key, value, cas=cas, expiry=expiry,
                            flags=flags)
 
+    @hot_path
+    @cost("O(log n)")
     def delete(self, vbucket_id: int, key: str, *, cas: int = 0) -> MutationResult:
         vb = self._active(vbucket_id)
         entry = self._live_entry(vb, key)
@@ -361,6 +372,8 @@ class KVEngine:
         self.metrics.inc("kv.deletes")
         return MutationResult(doc.meta.cas, doc.meta.seqno, vb.id)
 
+    @hot_path
+    @cost("O(log n)")
     def touch(self, vbucket_id: int, key: str, expiry: float) -> MutationResult:
         vb = self._active(vbucket_id)
         entry = self._live_entry(vb, key)
@@ -369,6 +382,8 @@ class KVEngine:
         return self.upsert(vbucket_id, key, entry.doc.value, expiry=expiry,
                            flags=entry.doc.meta.flags)
 
+    @hot_path
+    @cost("O(log n)")
     def counter(self, vbucket_id: int, key: str, delta: int, *,
                 initial: int | None = None) -> tuple[int, MutationResult]:
         """memcached-style atomic counter: add ``delta`` to an integer
@@ -392,6 +407,8 @@ class KVEngine:
 
     # -- batched operations (the smart client's node-grouped bulk path) -----------
 
+    @hot_path
+    @cost("O(n)")
     def multi_get(self, items: list[tuple[int, str]]) -> list[tuple[str, object]]:
         """Serve a batch of point lookups in one call.  ``items`` is a
         list of ``(vbucket_id, key)`` pairs; the result carries one
@@ -407,6 +424,8 @@ class KVEngine:
         self.metrics.inc("kv.multi_gets")
         return out
 
+    @hot_path
+    @cost("O(n)")
     def multi_mutate(
         self, ops: list[tuple[str, int, str, dict]]
     ) -> list[tuple[str, object]]:
@@ -436,6 +455,8 @@ class KVEngine:
     # -- sub-document operations (section 3.2.2 mentions sub-document
     # lookups and updates; the SDK exposes them as lookup_in/mutate_in) ----
 
+    @hot_path
+    @cost("O(log n)")
     def lookup_in(self, vbucket_id: int, key: str,
                   paths: list[str]) -> list:
         """Fetch selected sub-document paths without shipping the whole
@@ -449,6 +470,8 @@ class KVEngine:
         self.metrics.inc("kv.subdoc_lookups")
         return results
 
+    @hot_path
+    @cost("O(log n)")
     def mutate_in(self, vbucket_id: int, key: str,
                   operations: list[tuple[str, str, JsonValue]],
                   *, cas: int = 0) -> MutationResult:
@@ -481,6 +504,8 @@ class KVEngine:
                            expiry=entry.doc.meta.expiry,
                            flags=entry.doc.meta.flags)
 
+    @hot_path
+    @cost("O(log n)")
     def get_and_lock(self, vbucket_id: int, key: str,
                      lock_time: float | None = None) -> Document:
         """Pessimistic locking (section 3.1.1).  The returned document's
@@ -504,6 +529,8 @@ class KVEngine:
         self.metrics.inc("kv.locks")
         return entry.doc.copy()
 
+    @hot_path
+    @cost("O(log n)")
     def unlock(self, vbucket_id: int, key: str, cas: int) -> None:
         vb = self._active(vbucket_id)
         entry = vb.hashtable.peek(key)
@@ -516,6 +543,8 @@ class KVEngine:
         entry.locked_until = 0.0
         entry.lock_cas = 0
 
+    @hot_path
+    @cost("O(log n)")
     def observe(self, vbucket_id: int, key: str) -> ObserveResult:
         """Durability probe: is the key in memory here, and has its latest
         mutation been persisted?  Works on active and replica vBuckets
@@ -541,6 +570,8 @@ class KVEngine:
 
     # -- XDCR inbound (section 4.6) --------------------------------------------------
 
+    @hot_path
+    @cost("O(log n)")
     def set_with_meta(self, vbucket_id: int, incoming: Document) -> bool:
         """Apply a remotely replicated mutation, preserving its metadata,
         after conflict resolution (section 4.6.1): the document with the
@@ -564,6 +595,8 @@ class KVEngine:
 
     # -- replica side (DCP consumer) ----------------------------------------------
 
+    @hot_path
+    @cost("O(log n)")
     def apply_replicated(self, vbucket_id: int, doc: Document) -> None:
         """Apply a mutation received over DCP to a replica or pending
         vBucket.  Seqno/CAS arrive pre-assigned by the active side."""
@@ -581,6 +614,8 @@ class KVEngine:
 
     # -- background pumps ------------------------------------------------------------
 
+    @hot_path
+    @cost("O(n)")
     def flush(self, max_batch: int | None = None) -> bool:
         """Drain the disk write queue (the flusher).  Persists up to
         ``max_batch`` mutations across vBuckets, commits headers, marks
@@ -621,6 +656,8 @@ class KVEngine:
     def pending_writes(self) -> int:
         return sum(len(vb.dirty_queue) for vb in self.vbuckets.values())
 
+    @hot_path
+    @cost("O(n)")
     def run_compactor(self, threshold: float = 0.6) -> bool:
         """Online compaction pass (section 4.3.3: "Compaction is
         periodically run, based on a fragmentation threshold, and while
@@ -640,6 +677,8 @@ class KVEngine:
             return True
         return False
 
+    @hot_path
+    @cost("O(n)")
     def run_expiry_pager(self) -> int:
         """Proactively convert expired documents into delete mutations so
         replicas and indexes learn about expiry without waiting for an
@@ -708,6 +747,8 @@ class KVEngine:
                 memory_ratio=self._memory_used / self.quota_bytes,
             )
 
+    @hot_path
+    @cost("O(n)")
     def run_item_pager(self) -> int:
         """Eject NRU clean values until usage falls below the low
         watermark.  Two sweeps: the first skips recently referenced

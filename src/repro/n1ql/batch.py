@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import Any, Iterator
 
+from ..common.costmodel import cost, hot_path
 from ..common.errors import N1qlRuntimeError
 from .collation import MISSING
 from .compile import compile_expr, compile_sort_key
@@ -97,6 +98,8 @@ def _chunks(rows: list) -> Batches:
 # ---------------------------------------------------------------------------
 
 
+@hot_path
+@cost("O(n)")
 def run_key_scan_batch(op: KeyScan, ctx: ExecutionContext) -> Batches:
     keys = _compiled(op, "_compiled_keys", op.keys, ctx)(Env(), ctx.evaluator)
     if isinstance(keys, str):
@@ -118,6 +121,8 @@ def run_key_scan_batch(op: KeyScan, ctx: ExecutionContext) -> Batches:
         yield batch
 
 
+@hot_path
+@cost("O(n)")
 def run_index_scan_batch(op: IndexScan, ctx: ExecutionContext) -> Batches:
     if op.using == "view":
         yield from _batched(_run_view_index_scan(op, ctx))
@@ -150,6 +155,8 @@ def run_index_scan_batch(op: IndexScan, ctx: ExecutionContext) -> Batches:
         yield batch
 
 
+@hot_path
+@cost("O(n)")
 def run_primary_scan_batch(op: PrimaryScan, ctx: ExecutionContext) -> Batches:
     if op.using != "gsi":
         yield from _batched(run_primary_scan(op, ctx))
@@ -173,10 +180,14 @@ def run_primary_scan_batch(op: PrimaryScan, ctx: ExecutionContext) -> Batches:
         yield batch
 
 
+@hot_path
+@cost("O(n)")
 def run_system_scan_batch(op, ctx: ExecutionContext) -> Batches:
     yield from _batched(run_system_scan(op, ctx))
 
 
+@hot_path
+@cost("O(n)")
 def run_index_aggregate_batch(op, ctx: ExecutionContext) -> Batches:
     # Merged groups are few; chunking the row executor is enough.
     yield from _batched(run_index_aggregate(op, ctx))
@@ -187,6 +198,8 @@ def run_index_aggregate_batch(op, ctx: ExecutionContext) -> Batches:
 # ---------------------------------------------------------------------------
 
 
+@hot_path
+@cost("O(n)")
 def run_fetch_batch(op: Fetch, ctx: ExecutionContext,
                     batches: Batches) -> Batches:
     state = FetchState(op, ctx)
@@ -203,6 +216,8 @@ def run_fetch_batch(op: Fetch, ctx: ExecutionContext,
             yield out
 
 
+@hot_path
+@cost("O(n)")
 def run_filter_batch(op: Filter, ctx: ExecutionContext,
                      batches: Batches) -> Batches:
     condition = _compiled(op, "_compiled_condition", op.condition, ctx)
@@ -213,6 +228,8 @@ def run_filter_batch(op: Filter, ctx: ExecutionContext,
             yield kept
 
 
+@hot_path
+@cost("O(n)")
 def run_let_batch(op: LetOp, ctx: ExecutionContext,
                   batches: Batches) -> Batches:
     compiled = getattr(op, "_compiled_bindings", None)
@@ -238,6 +255,8 @@ def run_let_batch(op: LetOp, ctx: ExecutionContext,
 # ---------------------------------------------------------------------------
 
 
+@hot_path
+@cost("O(n)")
 def run_join_batch(op: JoinOp, ctx: ExecutionContext,
                    batches: Batches) -> Batches:
     on_keys = _compiled(op, "_compiled_on_keys", op.on_keys, ctx)
@@ -268,6 +287,8 @@ def run_join_batch(op: JoinOp, ctx: ExecutionContext,
         yield out
 
 
+@hot_path
+@cost("O(n)")
 def run_nest_batch(op: NestOp, ctx: ExecutionContext,
                    batches: Batches) -> Batches:
     on_keys = _compiled(op, "_compiled_on_keys", op.on_keys, ctx)
@@ -292,6 +313,8 @@ def run_nest_batch(op: NestOp, ctx: ExecutionContext,
             yield out
 
 
+@hot_path
+@cost("O(n)")
 def run_unnest_batch(op: UnnestOp, ctx: ExecutionContext,
                      batches: Batches) -> Batches:
     unnest_fn = _compiled(op, "_compiled_expr", op.expr, ctx)
@@ -324,6 +347,8 @@ def run_unnest_batch(op: UnnestOp, ctx: ExecutionContext,
 # ---------------------------------------------------------------------------
 
 
+@hot_path
+@cost("O(n)")
 def run_group_batch(op: GroupOp, ctx: ExecutionContext,
                     batches: Batches) -> Batches:
     group_fns, agg_entries = _group_compiled(op, ctx)
@@ -371,6 +396,8 @@ def run_group_batch(op: GroupOp, ctx: ExecutionContext,
         yield batch
 
 
+@hot_path
+@cost("O(n)")
 def run_order_batch(op: OrderOp, ctx: ExecutionContext,
                     batches: Batches) -> Batches:
     key_of = getattr(op, "_compiled_key", None)
@@ -385,6 +412,8 @@ def run_order_batch(op: OrderOp, ctx: ExecutionContext,
     yield from _chunks(materialized)
 
 
+@hot_path
+@cost("O(n)")
 def run_offset_batch(op: OffsetOp, ctx: ExecutionContext,
                      batches: Batches) -> Batches:
     count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
@@ -402,6 +431,8 @@ def run_offset_batch(op: OffsetOp, ctx: ExecutionContext,
         yield batch
 
 
+@hot_path
+@cost("O(n)")
 def run_limit_batch(op: LimitOp, ctx: ExecutionContext,
                     batches: Batches) -> Batches:
     count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
@@ -424,6 +455,8 @@ def run_limit_batch(op: LimitOp, ctx: ExecutionContext,
 # ---------------------------------------------------------------------------
 
 
+@hot_path
+@cost("O(n)")
 def run_initial_project_batch(op: InitialProject, ctx: ExecutionContext,
                               batches: Batches) -> Batches:
     entries = _project_compiled(op, ctx)
@@ -465,6 +498,8 @@ def run_initial_project_batch(op: InitialProject, ctx: ExecutionContext,
         yield out_batch
 
 
+@hot_path
+@cost("O(n)")
 def run_distinct_batch(op: DistinctOp, ctx: ExecutionContext,
                        batches: Batches) -> Batches:
     seen: set[str] = set()
@@ -481,6 +516,8 @@ def run_distinct_batch(op: DistinctOp, ctx: ExecutionContext,
             yield kept
 
 
+@hot_path
+@cost("O(n)")
 def run_final_project_batch(op: FinalProject, ctx: ExecutionContext,
                             batches: Batches) -> Iterator[list[Any]]:
     for batch in batches:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any, Iterator
 
+from ..common.costmodel import cost, hot_path
 from ..common.errors import KeyNotFoundError, N1qlRuntimeError
 from .collation import MISSING
 from .compile import compile_expr, compile_sort_key
@@ -138,6 +139,8 @@ def _cover_doc(cover_parts: list[list[str]], key_values: list) -> dict:
 # ---------------------------------------------------------------------------
 
 
+@hot_path
+@cost("O(n)")
 def run_key_scan(op: KeyScan, ctx: ExecutionContext) -> Rows:
     keys = _compiled(op, "_compiled_keys", op.keys, ctx)(Env(), ctx.evaluator)
     if isinstance(keys, str):
@@ -189,6 +192,8 @@ def _pushed_limit(op, ctx: ExecutionContext) -> int | None:
     return value
 
 
+@hot_path
+@cost("O(n)")
 def run_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
     if op.using == "view":
         yield from _run_view_index_scan(op, ctx)
@@ -245,6 +250,8 @@ def _run_view_index_scan(op: IndexScan, ctx: ExecutionContext) -> Rows:
         yield env
 
 
+@hot_path
+@cost("O(n)")
 def run_primary_scan(op: PrimaryScan, ctx: ExecutionContext) -> Rows:
     ctx.count("n1ql.primaryscan")
     if op.using == "gsi":
@@ -291,6 +298,8 @@ def _finalize_partial(name: str, partial: list) -> Any:
     return None if best is MISSING else best  # MIN / MAX
 
 
+@hot_path
+@cost("O(n)")
 def run_index_aggregate(op: IndexAggregateScan,
                         ctx: ExecutionContext) -> Rows:
     """Covered GROUP BY served by the index nodes (section 5.1): each
@@ -330,6 +339,8 @@ def run_index_aggregate(op: IndexAggregateScan,
         yield env
 
 
+@hot_path
+@cost("O(n)")
 def run_system_scan(op, ctx: ExecutionContext) -> Rows:
     """Rows of a system catalog keyspace."""
     cluster = ctx.cluster
@@ -434,6 +445,8 @@ class FetchState:
         return out
 
 
+@hot_path
+@cost("O(n)")
 def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
     """Resolve pending document fetches in node-grouped batches: the
     operator buffers up to :data:`FETCH_BATCH` rows, issues one bulk
@@ -454,6 +467,8 @@ def run_fetch(op: Fetch, ctx: ExecutionContext, rows: Rows) -> Rows:
         yield from state.drain(chunk)
 
 
+@hot_path
+@cost("O(n)")
 def run_filter(op: Filter, ctx: ExecutionContext, rows: Rows) -> Rows:
     condition = _compiled(op, "_compiled_condition", op.condition, ctx)
     ev = ctx.evaluator
@@ -462,6 +477,8 @@ def run_filter(op: Filter, ctx: ExecutionContext, rows: Rows) -> Rows:
             yield env
 
 
+@hot_path
+@cost("O(n)")
 def run_let(op: LetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     compiled = getattr(op, "_compiled_bindings", None)
     if compiled is None:
@@ -492,6 +509,8 @@ def _on_keys_list(fn, ctx: ExecutionContext, env: Env) -> list[str]:
     return []
 
 
+@hot_path
+@cost("O(n)")
 def run_join(op: JoinOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     on_keys = _compiled(op, "_compiled_on_keys", op.on_keys, ctx)
     for env in rows:
@@ -511,6 +530,8 @@ def run_join(op: JoinOp, ctx: ExecutionContext, rows: Rows) -> Rows:
             yield child
 
 
+@hot_path
+@cost("O(n)")
 def run_nest(op: NestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     """NEST: one output row per left row, with the fetched inner
     documents collected into an array (section 3.2.3)."""
@@ -532,6 +553,8 @@ def run_nest(op: NestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
             yield child
 
 
+@hot_path
+@cost("O(n)")
 def run_unnest(op: UnnestOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     """UNNEST: the parent is repeated for each element of the nested
     array (section 4.5.3)."""
@@ -579,6 +602,8 @@ def _group_compiled(op: GroupOp, ctx: ExecutionContext):
     return compiled
 
 
+@hot_path
+@cost("O(n)")
 def run_group(op: GroupOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     group_fns, agg_entries = _group_compiled(op, ctx)
     ev = ctx.evaluator
@@ -638,6 +663,8 @@ def _jsonable(value):
 # ---------------------------------------------------------------------------
 
 
+@hot_path
+@cost("O(n)")
 def run_order(op: OrderOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     key_of = getattr(op, "_compiled_key", None)
     if key_of is None:
@@ -651,6 +678,8 @@ def run_order(op: OrderOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     yield from materialized
 
 
+@hot_path
+@cost("O(n)")
 def run_offset(op: OffsetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
                                                             ctx.evaluator)
@@ -662,6 +691,8 @@ def run_offset(op: OffsetOp, ctx: ExecutionContext, rows: Rows) -> Rows:
             yield env
 
 
+@hot_path
+@cost("O(n)")
 def run_limit(op: LimitOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     count = _compiled(op, "_compiled_count", op.count, ctx)(Env(),
                                                             ctx.evaluator)
@@ -706,6 +737,8 @@ def _project_compiled(op: InitialProject, ctx: ExecutionContext):
     return entries
 
 
+@hot_path
+@cost("O(n)")
 def run_initial_project(op: InitialProject, ctx: ExecutionContext,
                         rows: Rows) -> Rows:
     """Evaluate the projection list; emits envs carrying '$result'."""
@@ -759,6 +792,8 @@ def _implicit_name(expr) -> str | None:
     return None
 
 
+@hot_path
+@cost("O(n)")
 def run_distinct(op: DistinctOp, ctx: ExecutionContext, rows: Rows) -> Rows:
     seen: set[str] = set()
     for env in rows:
@@ -770,6 +805,8 @@ def run_distinct(op: DistinctOp, ctx: ExecutionContext, rows: Rows) -> Rows:
         yield env
 
 
+@hot_path
+@cost("O(n)")
 def run_final_project(op: FinalProject, ctx: ExecutionContext,
                       rows: Rows) -> Iterator[Any]:
     for env in rows:

@@ -116,7 +116,6 @@ def path_of(expr: Expr, strip_alias: str | None = None) -> str | None:
           and parts and parts[-1] == "id"):
         # meta().id is an indexable "path" too (primary indexes).
         parts.append("meta().id")
-        parts.pop(0) if False else None
         dotted = list(reversed(parts))
         # dotted looks like ["meta().id", "id", ...]; normalize below.
         if dotted[:2] == ["meta().id", "id"]:

@@ -95,6 +95,9 @@ class DurabilityMonitor:
                 return False
             for node in replicas:
                 try:
+                    # Observe is a per-replica poll by design: one RPC
+                    # per replica node, bounded by the replica count.
+                    # repro-hotpath: disable-next=n-plus-one-rpc
                     observed = self.network.call(
                         self.client_name, node, "kv_observe",
                         bucket, vbucket_id, key,

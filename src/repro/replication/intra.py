@@ -40,7 +40,8 @@ class IntraReplicator:
         self._streams: dict[tuple[int, str], DcpStream] = {}
         self._map_revision = -1
 
-    @declared_raises('BucketNotFoundError', 'InvalidArgumentError')
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError')
     def pump(self) -> bool:
         """One scheduler round: refresh topology if needed, then forward
         one batch per stream.  Returns True if any mutation moved."""
@@ -61,6 +62,10 @@ class IntraReplicator:
                 if not isinstance(message, (Mutation, Deletion)):
                     continue
                 try:
+                    # Per-message apply mirrors DCP's memory-to-memory
+                    # stream and keeps per-message NotMyVBucket/down
+                    # handling; batching replica apply is a ROADMAP item.
+                    # repro-hotpath: disable-next=n-plus-one-rpc
                     self.network.call(
                         self.node.name, target, "kv_apply_replicated",
                         self.bucket, vbucket_id, message.doc,

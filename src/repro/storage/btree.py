@@ -23,7 +23,7 @@ from typing import Callable, Iterator
 
 from ..common.errors import InvalidArgumentError
 from ..common.jsonval import JsonValue
-from .appendlog import RT_NODE, AppendLog
+from .appendlog import _HEADER, RT_NODE, AppendLog
 
 Comparator = Callable[[JsonValue, JsonValue], int]
 ReduceFn = Callable[[list[JsonValue]], JsonValue]
@@ -57,12 +57,23 @@ class BTree:
         reduce_fn: ReduceFn | None = None,
         rereduce_fn: RereduceFn | None = None,
         max_node_items: int | None = None,
+        node_bytes: int = 0,
     ):
         self.log = log
         self.root = root
         self.compare = compare
         self.reduce_fn = reduce_fn
         self.rereduce_fn = rereduce_fn
+        #: On-disk bytes (framing included) of every node reachable from
+        #: ``root``.  Maintained incrementally by :meth:`batch_update`
+        #: (written nodes add, replaced nodes subtract) so the storage
+        #: layer's fragmentation accounting can treat live index nodes as
+        #: live data instead of garbage -- miscounting them keeps a
+        #: freshly compacted file above the compaction threshold forever.
+        self.node_bytes = node_bytes
+        #: Per-batch deltas, reset at the top of :meth:`batch_update`.
+        self._update_written = 0
+        self._update_freed = 0
         if max_node_items is not None:
             self.max_node_items = max_node_items
         else:
@@ -72,6 +83,7 @@ class BTree:
 
     def _write_node(self, kind: str, items: list) -> int:
         body = json.dumps([kind, items], separators=(",", ":")).encode("utf-8")
+        self._update_written += _HEADER.size + len(body)
         return self.log.append(RT_NODE, body)
 
     #: Bound on the per-log decoded-node cache.  Nodes are immutable at
@@ -80,12 +92,19 @@ class BTree:
     NODE_CACHE_CAPACITY = 4096
 
     def _read_node(self, pointer: int) -> tuple[str, list]:
+        kind, items, _size = self._read_node_sized(pointer)
+        return kind, items
+
+    def _read_node_sized(self, pointer: int) -> tuple[str, list, int]:
+        """Like :meth:`_read_node` but also returns the record's on-disk
+        size (framing + body), which the copy-on-write update path needs
+        to account freed bytes when it replaces a node."""
         cache = self.log.node_cache
         node = cache.get(pointer)
         if node is None:
             _rt, body = self.log.read(pointer)
             kind, items = json.loads(body.decode("utf-8"))
-            node = (kind, items)
+            node = (kind, items, _HEADER.size + len(body))
             if len(cache) >= self.NODE_CACHE_CAPACITY:
                 cache.pop(next(iter(cache)))
             cache[pointer] = node
@@ -189,6 +208,21 @@ class BTree:
 
     def count(self) -> int:
         return sum(1 for _ in self.items())
+
+    def measure_node_bytes(self) -> int:
+        """Walk the tree and total its nodes' on-disk bytes, setting
+        :attr:`node_bytes`.  One full traversal -- recovery fallback for
+        files whose header predates the persisted counter; steady-state
+        callers rely on the incremental accounting instead."""
+        total = 0
+        stack = [] if self.root is None else [self.root]
+        while stack:
+            kind, items, size = self._read_node_sized(stack.pop())
+            total += size
+            if kind == "kp":
+                stack.extend(child for _key, child, _reduction in items)
+        self.node_bytes = total
+        return total
 
     def full_reduce(self) -> JsonValue:
         """Reduce value of the whole tree, O(1) from the root."""
@@ -328,6 +362,8 @@ class BTree:
         ordered_keys.sort(key=functools.cmp_to_key(self.compare))
         work = [(key, *actions[key_token(key)]) for key in ordered_keys]
 
+        self._update_written = 0
+        self._update_freed = 0
         new_root = self._modify_root(work)
         return BTree(
             self.log,
@@ -336,6 +372,8 @@ class BTree:
             self.reduce_fn,
             self.rereduce_fn,
             self.max_node_items,
+            node_bytes=self.node_bytes + self._update_written
+            - self._update_freed,
         )
 
     # Internal: each _modify_* returns a list of kp entries
@@ -378,7 +416,8 @@ class BTree:
         one entry normally, several after a split, none when emptied.
         Keeping levels uniform is what stops repeated batches from
         skewing the tree's depth."""
-        kind, items = self._read_node(pointer)
+        kind, items, size = self._read_node_sized(pointer)
+        self._update_freed += size  # this node is replaced (or emptied)
         if kind == "kv":
             return self._modify_leaf(items, work)
         child_entries: list = []

@@ -23,7 +23,7 @@ from ..common.disk import SimulatedDisk
 from ..common.document import Document, DocumentMeta
 from ..common.errors import KeyNotFoundError
 from ..common.jsonval import JsonValue
-from .appendlog import RT_DOC, RT_HEADER, AppendLog
+from .appendlog import _HEADER, RT_DOC, RT_HEADER, AppendLog
 from .btree import BTree
 
 
@@ -59,7 +59,6 @@ class VBucketStore:
         header = json.loads(body.decode("utf-8"))
         # Truncate everything after the header record: those are appends
         # that never reached a commit point.
-        from .appendlog import _HEADER  # framing struct
         self.log.file.truncate(offset + _HEADER.size + len(body))
         self.by_key = BTree(self.log, header["by_key_root"])
         self.by_seq = BTree(self.log, header["by_seq_root"])
@@ -67,6 +66,14 @@ class VBucketStore:
         self.doc_count = header["doc_count"]
         self.deleted_count = header["deleted_count"]
         self.live_size = header["live_size"]
+        # Tree-node byte counters ride in the header; files written
+        # before the counter existed pay one tree walk to rebuild them.
+        if "by_key_nodes" in header:
+            self.by_key.node_bytes = header["by_key_nodes"]
+            self.by_seq.node_bytes = header["by_seq_nodes"]
+        else:
+            self.by_key.measure_node_bytes()
+            self.by_seq.measure_node_bytes()
 
     # -- write path -------------------------------------------------------------
 
@@ -139,6 +146,8 @@ class VBucketStore:
             "doc_count": self.doc_count,
             "deleted_count": self.deleted_count,
             "live_size": self.live_size,
+            "by_key_nodes": self.by_key.node_bytes,
+            "by_seq_nodes": self.by_seq.node_bytes,
             "vbucket_id": self.vbucket_id,
         }
         self.log.append(RT_HEADER, json.dumps(header, separators=(",", ":")).encode())
@@ -191,9 +200,27 @@ class VBucketStore:
     def file_size(self) -> int:
         return self.log.size
 
+    def live_bytes(self) -> int:
+        """On-disk bytes still reachable from the current tree roots:
+        live document records (bodies plus framing) and live index
+        nodes.  Superseded doc versions, dead nodes and stale headers
+        are the garbage compaction reclaims."""
+        doc_records = self.doc_count + self.deleted_count
+        return (
+            self.live_size
+            + doc_records * _HEADER.size
+            + self.by_key.node_bytes
+            + self.by_seq.node_bytes
+        )
+
     def fragmentation(self) -> float:
         """Fraction of the file that is garbage (old doc versions, dead
-        tree nodes).  The compactor triggers past a threshold on this."""
+        tree nodes, stale headers).  The compactor triggers past a
+        threshold on this.  Live B-tree nodes MUST count as live here:
+        they are roughly two thirds of a freshly compacted file, and
+        treating them as garbage pins fragmentation above any sane
+        threshold -- the compactor then rewrites an already-clean file
+        every pump round and the scheduler never goes idle."""
         if self.log.size == 0:
             return 0.0
-        return max(0.0, 1.0 - self.live_size / self.log.size)
+        return max(0.0, 1.0 - self.live_bytes() / self.log.size)

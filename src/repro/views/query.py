@@ -101,6 +101,9 @@ class ViewQueryCoordinator:
             node = manager.nodes[name]
             if bucket not in node.view_engines:
                 continue
+            # Scatter-gather: one view RPC per data node, each holding
+            # vbuckets nobody else serves -- per-node by design.
+            # repro-hotpath: disable-next=n-plus-one-rpc
             partial = self.cluster.network.call(
                 "view-coordinator", node.name, "view_query_local",
                 bucket, design, view, params,

@@ -1,0 +1,6 @@
+from ..common.costmodel import hot_path
+
+
+@hot_path
+def lookup(store, key):
+    return store.fetch(key)

@@ -1,0 +1,5 @@
+def compile_expr(expr):
+    def evaluate(row):
+        return row
+
+    return evaluate

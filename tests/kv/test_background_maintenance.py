@@ -90,6 +90,34 @@ class TestClusterAutoCompaction:
             cluster.run_until_idle()
         assert cluster.node("node1").metrics.counter_value("kv.compactions") == 0
 
+    def test_compactor_quiesces_past_600_docs(self):
+        """Regression: fragmentation once counted live B-tree nodes as
+        garbage, so past ~600 docs per vBucket a freshly compacted file
+        still read above the threshold and the compactor rewrote one
+        vBucket every pump round -- the scheduler never went idle."""
+        cluster = Cluster(nodes=1, vbuckets=4, network_latency=0.0)
+        cluster.create_bucket("b", replicas=0)
+        client = cluster.connect()
+        for base in range(0, 800, 100):
+            client.multi_upsert("b", {
+                f"doc-{i}": {"i": i, "pad": "x" * 60}
+                for i in range(base, base + 100)
+            })
+            cluster.run_until_idle()
+        cluster.run_until_idle()
+        # The cluster is loaded and idle: further rounds must do nothing.
+        assert not cluster.scheduler.step()
+        runs_when_idle = cluster.node("node1").metrics.counter_value(
+            "kv.compactions")
+        for _ in range(25):
+            assert not cluster.scheduler.step()
+        assert cluster.node("node1").metrics.counter_value(
+            "kv.compactions") == runs_when_idle
+        # And every file sits below the default threshold.
+        engine = cluster.node("node1").engines["b"]
+        for vb in engine.vbuckets.values():
+            assert vb.store.fragmentation() < 0.6
+
     def test_replica_files_compacted_too(self):
         cluster = Cluster(nodes=2, vbuckets=8)
         cluster.create_bucket("b", compaction_threshold=0.5)

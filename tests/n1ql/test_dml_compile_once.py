@@ -1,0 +1,127 @@
+"""DML expression work is compiled once per statement, not once per row.
+
+The regression these tests pin down: UPDATE/DELETE/INSERT used to walk
+expression ASTs with the interpreter for every target row (RETURNING
+projections, the WHERE re-check, SET paths and values), so the per-row
+cost -- and the ``n1ql.compile.count`` delta -- grew with the row count.
+Now every expression lowers once, memoized on the statement, and row
+application is direct closure calls; INSERT values and DELETE targets
+also ship as batched ``multi_*`` RPCs instead of one RPC per row.
+"""
+
+import pytest
+
+from repro import Cluster
+
+RP = {"scan_consistency": "request_plus"}
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = Cluster(nodes=2, vbuckets=16)
+    cluster.create_bucket("b")
+    client = cluster.connect()
+    for base in range(0, 120, 40):
+        client.multi_upsert("b", {
+            f"d{i:03d}": {"age": i, "name": f"user{i:03d}"}
+            for i in range(base, base + 40)
+        })
+        cluster.run_until_idle()
+    cluster.query("CREATE PRIMARY INDEX ON b USING GSI")
+    cluster.run_until_idle()
+    return cluster
+
+
+def compiles(cluster) -> int:
+    return sum(node.metrics.counter_value("n1ql.compile.count")
+               for node in cluster.manager.nodes.values())
+
+
+def multi_mutates(cluster) -> int:
+    return sum(
+        engine.metrics.counter_value("kv.multi_mutates")
+        for node in cluster.manager.nodes.values()
+        for engine in node.engines.values()
+    )
+
+
+def run(cluster, text):
+    before = compiles(cluster)
+    result = cluster.query(text, scan_consistency="request_plus")
+    return result, compiles(cluster) - before
+
+
+class TestCompileCountFlatInRows:
+    def test_update_compiles_independent_of_row_count(self, cluster):
+        # Different thresholds force two distinct statements (no plan
+        # cache hit) that touch ~10x different row counts.
+        small, small_delta = run(
+            cluster, "UPDATE b SET b.flag = b.age + 1 WHERE b.age < 10")
+        large, large_delta = run(
+            cluster, "UPDATE b SET b.flag = b.age + 1 WHERE b.age < 110")
+        assert small.mutation_count == 10
+        assert large.mutation_count == 110
+        assert small_delta == large_delta
+        assert 0 < large_delta < 20
+
+    def test_update_returning_compiles_once(self, cluster):
+        small, small_delta = run(
+            cluster,
+            "UPDATE b SET b.tag = 1 WHERE b.age < 8 "
+            "RETURNING b.name, b.age + 100")
+        large, large_delta = run(
+            cluster,
+            "UPDATE b SET b.tag = 1 WHERE b.age < 108 "
+            "RETURNING b.name, b.age + 100")
+        assert len(small.rows) == 8
+        assert len(large.rows) == 108
+        assert small_delta == large_delta
+
+    def test_insert_values_compile_linear_in_values_not_rewalked(
+            self, cluster):
+        # Each VALUES entry compiles its key and value expression
+        # exactly once; re-walking would show up as a larger delta.
+        _result, delta = run(
+            cluster,
+            'INSERT INTO b (KEY, VALUE) VALUES '
+            + ", ".join(f'("ins{i}", {{"v": {i}}})' for i in range(12)))
+        cleanup = ", ".join(f'"ins{i}"' for i in range(12))
+        cluster.query(f"DELETE FROM b USE KEYS [{cleanup}]")
+        # 12 keys + 12 values, plus the RETURNING-free statement's fixed
+        # overhead of zero: nothing proportional to anything else.
+        assert delta == 24
+
+
+class TestDmlBatchedRpcs:
+    def test_insert_values_is_one_batch_not_n_rpcs(self, cluster):
+        before = multi_mutates(cluster)
+        cluster.query(
+            'INSERT INTO b (KEY, VALUE) VALUES '
+            + ", ".join(f'("bat{i}", {{"v": {i}}})' for i in range(30)))
+        # One kv_multi_mutate per involved node (2 nodes), not 30.
+        assert multi_mutates(cluster) - before <= 2
+        cleanup = ", ".join(f'"bat{i}"' for i in range(30))
+        cluster.query(f"DELETE FROM b USE KEYS [{cleanup}]")
+
+    def test_delete_where_is_one_batch_not_n_rpcs(self, cluster):
+        client = cluster.connect()
+        client.multi_upsert("b", {
+            f"del{i:02d}": {"age": 500 + i} for i in range(40)})
+        cluster.run_until_idle()
+        before = multi_mutates(cluster)
+        result = cluster.query(
+            "DELETE FROM b WHERE b.age >= 500", **RP)
+        assert result.mutation_count == 40
+        assert multi_mutates(cluster) - before <= 2
+
+    def test_upsert_statement_overwrites_in_batch(self, cluster):
+        cluster.query(
+            'UPSERT INTO b (KEY, VALUE) VALUES ("up1", {"v": 1}), '
+            '("up2", {"v": 2})')
+        cluster.query(
+            'UPSERT INTO b (KEY, VALUE) VALUES ("up1", {"v": 9}), '
+            '("up2", {"v": 8})')
+        rows = cluster.query(
+            'SELECT b.v FROM b USE KEYS ["up1", "up2"]').rows
+        assert rows == [{"v": 9}, {"v": 8}]
+        cluster.query('DELETE FROM b USE KEYS ["up1", "up2"]')
