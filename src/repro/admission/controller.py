@@ -53,15 +53,26 @@ _SEED_MIX = 1_000_003
 
 @dataclass
 class AdmissionConfig:
-    """Tuning knobs; the defaults are deliberately permissive (no rate
-    caps, no inflight caps) so admission control is pure observability
-    until a deployment opts into limits -- breakers and backpressure are
-    always on."""
+    """Tuning knobs.  With nothing configured the controller is pure
+    observability (no rate caps, no inflight caps) -- but the moment a
+    deployment opts into a service budget, tenants get real defaults:
+    an unconfigured tenant is limited to :attr:`tenant_fair_share` of
+    its service's budget, so one greedy handle cannot starve the
+    tenants an operator actually provisioned.  Breakers and
+    backpressure are always on."""
 
     #: Per-tenant token rate (ops per virtual second) and burst; None
     #: disables tenant throttling.
     tenant_rate: float | None = None
     tenant_burst: float | None = None
+    #: Explicit per-tenant ``(rate, burst)`` overrides, e.g.
+    #: ``{"analytics": (5.0, 2.0)}`` -- wins over every default.
+    tenant_rates: dict = field(default_factory=dict)
+    #: Fair-share default for tenants with no explicit budget: the
+    #: fraction of the *service* budget one such tenant may consume.
+    #: Only applies where ``service_rates`` names a budget, so the
+    #: zero-config posture stays permissive.
+    tenant_fair_share: float = 0.5
     #: Per-service (rate, burst) budgets, e.g. {"n1ql": (50.0, 10.0)}.
     service_rates: dict = field(default_factory=dict)
     #: Per-service in-flight caps, e.g. {"n1ql": 4}.
@@ -85,11 +96,28 @@ class AdmissionConfig:
     #: the degradation policy starts shedding N1QL.
     pressure_half_life: float = 0.5
     shed_threshold: float = 1.0
+    #: Overload-signal weighting: a TMPFAIL's ``pending_writes`` adds
+    #: one extra pressure point per this many queued mutations, and one
+    #: signal's total weight never exceeds the cap.
+    pressure_depth_scale: float = 256.0
+    pressure_weight_cap: float = 4.0
     seed: int = 101
 
 
 class AdmissionController:
     """Front door shared by every client of one cluster."""
+
+    #: Population-keyed registries: ``_services`` holds one slot per
+    #: service class ("kv", "n1ql"), ``_nodes`` and ``_breakers`` one
+    #: per data node of the cluster topology -- bounded by construction,
+    #: not by eviction.
+    __bounds__ = ("_services", "_nodes", "_breakers")
+
+    #: Decayed pressure scores below this are indistinguishable from
+    #: "never overloaded" and are dropped, so `_pressure` holds only
+    #: nodes with live incidents (found by repro-bounds: entries for
+    #: long-recovered or removed nodes lingered forever).
+    PRESSURE_FLOOR = 1e-4
 
     def __init__(self, scheduler: Scheduler, *,
                  config: AdmissionConfig | None = None,
@@ -122,15 +150,40 @@ class AdmissionController:
     def register_client(self, name: str, service: str) -> None:
         self._clients[name] = service
 
+    def unregister_client(self, name: str) -> None:
+        """Release a disconnected client's registration and its tenant
+        token bucket.  Client handles get a fresh unique name on every
+        connect, so without this the controller retained one bucket per
+        connection ever made (found by repro-bounds)."""
+        self._clients.pop(name, None)
+        self._tenants.pop(name, None)
+
     # -- lazily-built parts ------------------------------------------------
 
-    def _tenant_bucket(self, tenant: str) -> TokenBucket:
+    def _tenant_bucket(self, tenant: str, service: str) -> TokenBucket:
         bucket = self._tenants.get(tenant)
         if bucket is None:
-            bucket = TokenBucket(self.clock, self.config.tenant_rate,
-                                 self.config.tenant_burst)
+            rate, burst = self._tenant_budget(tenant, service)
+            bucket = TokenBucket(self.clock, rate, burst)
             self._tenants[tenant] = bucket
         return bucket
+
+    def _tenant_budget(self, tenant: str,
+                       service: str) -> tuple[float | None, float | None]:
+        """Resolve one tenant's (rate, burst): explicit per-tenant
+        override, then the global tenant default, then a fair share of
+        the service budget (see :class:`AdmissionConfig`)."""
+        explicit = self.config.tenant_rates.get(tenant)
+        if explicit is not None:
+            return explicit
+        if self.config.tenant_rate is not None:
+            return self.config.tenant_rate, self.config.tenant_burst
+        rate, burst = self.config.service_rates.get(service, (None, None))
+        if rate is not None:
+            share = self.config.tenant_fair_share
+            return rate * share, (burst * share if burst is not None
+                                  else None)
+        return None, None
 
     def _service_slot(self, service: str) -> tuple[TokenBucket, Bulkhead]:
         slot = self._services.get(service)
@@ -177,7 +230,7 @@ class AdmissionController:
         callback (call exactly once, in a finally) or None when nothing
         was claimed."""
         self.metrics.inc("admission.requests", ops)
-        tenant_bucket = self._tenant_bucket(tenant)
+        tenant_bucket = self._tenant_bucket(tenant, service)
         if not tenant_bucket.try_acquire(ops):
             self.metrics.inc("admission.tenant.shed", ops)
             raise AdmissionRejectedError(
@@ -245,12 +298,25 @@ class AdmissionController:
     # -- backpressure ------------------------------------------------------
 
     def note_overload(self, node: str, error: Exception | None = None) -> None:
-        """Record a pressure-tagged temporary failure from ``node``; the
-        score decays with virtual time so old incidents stop shedding."""
+        """Record a pressure-tagged temporary failure from ``node``,
+        weighted by the server's own overload metadata: a TMPFAIL
+        carrying a deep flusher backlog (``pending_writes``) or memory
+        far past quota (``memory_ratio``) moves the score more than a
+        marginal overshoot, so the shed threshold trips faster when the
+        data path is deeply behind.  The score decays with virtual time
+        so old incidents stop shedding."""
         now = self.clock.now()
         score = self._decayed_score(node, now)
-        self._pressure[node] = (score + 1.0, now)
+        weight = 1.0
+        if error is not None:
+            pending = getattr(error, "pending_writes", None) or 0
+            ratio = getattr(error, "memory_ratio", None) or 0.0
+            weight += pending / self.config.pressure_depth_scale
+            weight += max(0.0, ratio - 1.0)
+            weight = min(weight, self.config.pressure_weight_cap)
+        self._pressure[node] = (score + weight, now)
         self.metrics.inc("admission.overload_signals")
+        self.metrics.observe("admission.overload_weight", weight)
 
     def _decayed_score(self, node: str, now: float) -> float:
         score, last = self._pressure.get(node, (0.0, now))
@@ -260,12 +326,17 @@ class AdmissionController:
         return score * 0.5 ** (elapsed / self.config.pressure_half_life)
 
     def pressure_score(self) -> float:
-        """Cluster-wide pressure: the hottest node's decayed score."""
+        """Cluster-wide pressure: the hottest node's decayed score.
+        Entries decayed below :data:`PRESSURE_FLOOR` are pruned."""
         now = self.clock.now()
-        return max(
-            (self._decayed_score(node, now) for node in self._pressure),
-            default=0.0,
-        )
+        worst = 0.0
+        for node in sorted(self._pressure):
+            score = self._decayed_score(node, now)
+            if score < self.PRESSURE_FLOOR:
+                self._pressure.pop(node)
+            else:
+                worst = max(worst, score)
+        return worst
 
     def overloaded(self) -> bool:
         """True while the degradation policy should shed N1QL."""

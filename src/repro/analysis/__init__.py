@@ -1,9 +1,11 @@
 """Shared machinery for the static/dynamic analysis CLIs.
 
-Three tools gate this tree in CI -- repro-lint (per-file AST
-invariants), repro-sanitize (schedule-interleaving race detection) and
-repro-flow (whole-program call-graph analysis) -- and they share one
-contract so a CI job can treat them interchangeably:
+Five tools gate this tree in CI -- repro-lint (per-file AST
+invariants), repro-sanitize (schedule-interleaving race detection),
+repro-flow (whole-program call-graph analysis), repro-hotpath (static
+cost analysis of the hot set) and repro-bounds (resource-bounds and
+lifecycle analysis) -- and they share one contract so a CI job can
+treat them interchangeably:
 
 * exit status 0 when clean, 1 when findings were reported, 2 on usage
   errors (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_USAGE`);
@@ -13,7 +15,10 @@ contract so a CI job can treat them interchangeably:
 * ``--format github`` emitting ``::error`` workflow commands that land
   as inline PR annotations (:func:`github_annotation`);
 * a strict/relaxed/auto profile split resolving per file -- strict under
-  ``src/repro``, relaxed for harness code (:func:`profile_for`).
+  ``src/repro``, relaxed for harness code (:func:`profile_for`);
+* one CLI scaffold -- check selection, the suppression +
+  relaxed-profile finding filter, and finding rendering
+  (:func:`select_checks` / :func:`keep_finding` / :func:`print_finding`).
 
 This package holds that contract in one place; the tools keep only
 their own rules/scenarios/analyses.
@@ -24,11 +29,18 @@ from .harness import (  # noqa: F401
     EXIT_FINDINGS,
     EXIT_USAGE,
     PROFILES,
+    UsageError,
     discover,
+    discover_program,
+    keep_finding,
     module_name_for,
     parse_suppressions,
+    print_finding,
     profile_for,
+    report_parse_errors,
+    select_checks,
     suppressed,
+    suppressions_by_path,
 )
 from .output import FORMATS, github_annotation  # noqa: F401
 
@@ -38,10 +50,17 @@ __all__ = [
     "EXIT_USAGE",
     "FORMATS",
     "PROFILES",
+    "UsageError",
     "discover",
+    "discover_program",
     "github_annotation",
+    "keep_finding",
     "module_name_for",
     "parse_suppressions",
+    "print_finding",
     "profile_for",
+    "report_parse_errors",
+    "select_checks",
     "suppressed",
+    "suppressions_by_path",
 ]

@@ -4,13 +4,24 @@ Everything here used to live in :mod:`repro.lint.engine` and was grown
 in place by repro-sanitize and repro-flow; it is tool-agnostic, so it
 moved here.  The lint engine re-exports the old names for callers that
 still import them from there.
+
+The second half of this module is the shared CLI scaffold: check
+selection (:func:`select_checks`), the suppression + relaxed-profile
+filter (:func:`keep_finding`), and finding rendering
+(:func:`print_finding`).  repro-flow, repro-hotpath and repro-bounds
+each used to carry a private copy of these; any finding-shaped record
+(``check``/``path``/``line``/``col``/``message`` plus ``format()``)
+works with them.
 """
 
 from __future__ import annotations
 
 import re
+import sys
 from pathlib import Path
 from typing import Iterable
+
+from .output import github_annotation
 
 #: The shared CLI exit contract: CI gates on these next to ruff.
 EXIT_CLEAN = 0
@@ -94,3 +105,77 @@ def profile_for(path: Path, requested: str = "auto") -> str:
         if part == "src" and index + 1 < len(parts) and parts[index + 1] == "repro":
             return "strict"
     return "relaxed"
+
+
+class UsageError(ValueError):
+    """A bad command line (unknown check, empty path set): exit 2."""
+
+
+def select_checks(arg: str | None, known: Iterable[str],
+                  label: str = "check") -> tuple[str, ...]:
+    """Parse a ``--check NAME[,NAME...]`` argument against the tool's
+    check vocabulary; ``None`` selects everything."""
+    known = tuple(known)
+    if arg is None:
+        return known
+    names = tuple(name.strip() for name in arg.split(",") if name.strip())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise UsageError(
+            f"unknown {label} {', '.join(unknown)} "
+            f"(choose from {', '.join(known)})"
+        )
+    return names
+
+
+def discover_program(paths: Iterable[str | Path],
+                     tool: str) -> list[Path] | None:
+    """Discover the files a whole-program CLI run covers; prints the
+    usage error and returns None when nothing matches."""
+    files = discover(paths)
+    if not files:
+        print(f"{tool}: no Python files under {list(paths)}",
+              file=sys.stderr)
+        return None
+    return files
+
+
+def report_parse_errors(parse_errors, tool: str) -> None:
+    """Print a project's ``(path, line, message)`` parse failures the
+    way every whole-program CLI does before exiting 2."""
+    for path, line, message in parse_errors:
+        print(f"{tool}: {path}:{line}: {message}", file=sys.stderr)
+
+
+def keep_finding(finding, suppressions_by_path: dict[str, dict],
+                 requested: str,
+                 relaxed_exempt: frozenset[str] = frozenset()) -> bool:
+    """The shared finding filter: per-line suppressions first, then the
+    tool's relaxed-profile exemptions for files resolving to relaxed."""
+    if suppressed(finding.check, finding.line,
+                  suppressions_by_path.get(finding.path, {})):
+        return False
+    if relaxed_exempt and finding.check in relaxed_exempt \
+            and profile_for(Path(finding.path), requested) == "relaxed":
+        return False
+    return True
+
+
+def suppressions_by_path(modules, tool: str) -> dict[str, dict]:
+    """Per-path suppression tables for one tool tag over an iterable of
+    module records carrying ``path`` and ``source_lines``."""
+    return {
+        module.path: parse_suppressions(module.source_lines, tool)
+        for module in modules
+    }
+
+
+def print_finding(finding, tool: str, output_format: str) -> None:
+    """Render one finding in the CLI's selected format."""
+    if output_format == "github":
+        print(github_annotation(
+            finding.message, title=f"{tool}: {finding.check}",
+            path=finding.path, line=finding.line, col=finding.col,
+        ))
+    else:
+        print(finding.format())

@@ -1,13 +1,17 @@
-"""Command line front end: ``python -m repro.hotpath [paths...]``.
+"""Command line front end: ``python -m repro.bounds [paths...]``.
 
-Exit status mirrors repro-lint/sanitize/flow: 0 clean, 1 findings, 2
-usage errors -- one contract for every gate in CI.  Suppressions are
-``# repro-hotpath: disable=<check>`` (or ``disable-next=``) with a short
-justification expected on the same or neighboring line.
+Exit status mirrors repro-lint/sanitize/flow/hotpath: 0 clean, 1
+findings, 2 usage errors -- one contract for every gate in CI.
+Suppressions are ``# repro-bounds: disable=<check>`` (or
+``disable-next=``) with a short justification expected on the same or
+neighboring line; containers with a *mechanism* rather than a comment
+should prefer ``@bounded`` / ``__bounds__`` declarations
+(:mod:`repro.common.boundsmodel`), which document the mechanism at the
+definition instead of silencing one line.
 
-``--report hot-set`` prints the derived hot set with provenance (which
-root pulled each function in) and exits 0 -- the intended way to answer
-"is this function guarded?" before relying on it.
+``--report scope`` prints the derived bounds scope (every function
+reachable from a pump, timer, RPC handler, or ``@hot_path`` root) with
+provenance and exits 0.
 """
 
 from __future__ import annotations
@@ -33,21 +37,22 @@ from ..flow.callgraph import build_callgraph
 from ..flow.project import Project
 from .analyze import ALL_CHECKS, analyze
 
-TOOL = "repro-hotpath"
+TOOL = "repro-bounds"
 
 #: Checks the relaxed profile (fixture trees, harness code analyzed
-#: without --profile strict) does not enforce: demo code may mark a hot
-#: root without committing to a cost contract.
-RELAXED_EXEMPT = frozenset({"cost-undeclared"})
+#: without --profile strict) does not enforce: a demo script may memo
+#: into a dict without committing to an eviction policy.
+RELAXED_EXEMPT = frozenset({"cache-without-eviction"})
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.hotpath",
-        description="Static cost analysis of the tree's hot paths: "
-                    "derives the hot set from @hot_path roots and "
-                    "scheduler pumps, then checks per-function cost "
-                    "rules and @cost contracts.",
+        prog="python -m repro.bounds",
+        description="Whole-program resource-bounds and lifecycle "
+                    "analysis: derives the pump/RPC-reachable scope, "
+                    "then checks that every container on it is bounded, "
+                    "memory charges balance, retries back off, and "
+                    "acquired slots release on error paths.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -61,8 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile", choices=("auto",) + PROFILES, default="auto",
         help="auto (default) is strict under src/repro and relaxed "
-             "elsewhere; relaxed does not require @cost declarations "
-             "on hot roots",
+             "elsewhere; relaxed does not enforce cache eviction "
+             "policies",
     )
     parser.add_argument(
         "--format", choices=FORMATS, default="text", dest="output_format",
@@ -70,8 +75,8 @@ def _build_parser() -> argparse.ArgumentParser:
              "::error workflow commands that become inline PR annotations",
     )
     parser.add_argument(
-        "--report", choices=("hot-set",), default=None,
-        help="print the derived hot set with provenance instead of "
+        "--report", choices=("scope",), default=None,
+        help="print the derived bounds scope with provenance instead of "
              "running the checks (informational; always exits 0)",
     )
     parser.add_argument(
@@ -98,14 +103,14 @@ def main(argv: list[str] | None = None) -> int:
     graph = build_callgraph(project)
     result = analyze(project, graph, checks)
 
-    if args.report == "hot-set":
-        for fqn in sorted(result.hotset.members):
+    if args.report == "scope":
+        for fqn in sorted(result.scope.members):
             func = project.functions.get(fqn)
             line = func.line if func else 0
-            print(f"{fqn}:{line}: {result.hotset.why(fqn)}")
+            print(f"{fqn}:{line}: {result.scope.why(fqn)}")
         if not args.quiet:
-            print(f"{TOOL}: {len(result.hotset.members)} hot functions "
-                  f"from {len(result.hotset.roots)} roots "
+            print(f"{TOOL}: {len(result.scope.members)} functions in "
+                  f"scope from {len(result.scope.roots)} roots "
                   f"(informational; not a gate)")
         return EXIT_CLEAN
 
@@ -116,11 +121,13 @@ def main(argv: list[str] | None = None) -> int:
     for finding in findings:
         print_finding(finding, TOOL, args.output_format)
     if not args.quiet:
+        tracked = len(result.inventory.containers) \
+            if result.inventory else 0
         print(
             f"{TOOL}: {len(findings)} finding"
             f"{'' if len(findings) == 1 else 's'} in {len(files)} files "
-            f"({len(result.hotset.members)} hot functions from "
-            f"{len(result.hotset.roots)} roots)"
+            f"({tracked} containers tracked, {len(result.scope.members)} "
+            f"functions in scope from {len(result.scope.roots)} roots)"
         )
     return EXIT_FINDINGS if findings else EXIT_CLEAN
 

@@ -1,0 +1,72 @@
+"""Static readers for the ``@bounded`` / ``__bounds__`` contract.
+
+Mirrors how :mod:`repro.flow.hotset` reads ``@hot_path`` and ``@cost``:
+by name, off the AST, so fixture trees (and code that stubs
+:mod:`repro.common.boundsmodel`) analyze without being importable.
+
+Two declaration forms (see :mod:`repro.common.boundsmodel` for the
+runtime side and the kind vocabulary):
+
+* ``@bounded("kind", "reason")`` on a function exempts every container
+  growth site inside that function;
+* ``__bounds__ = ("attr", ...)`` in a class body -- or
+  ``("Class.attr", ...)`` at module level -- exempts the named
+  container attributes wherever they grow.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..flow.project import ClassInfo, FuncInfo, ModuleInfo
+
+
+def _decorator_name(dec: ast.expr) -> str | None:
+    node = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def declared_bound(func: FuncInfo) -> tuple[str, str] | None:
+    """The ``@bounded(kind, reason)`` declaration on ``func``, or None."""
+    for dec in func.decorators:
+        if (_decorator_name(dec) == "bounded" and isinstance(dec, ast.Call)
+                and len(dec.args) >= 2
+                and all(isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        for arg in dec.args[:2])):
+            return dec.args[0].value, dec.args[1].value
+    return None
+
+
+def _bounds_tuple(body: list[ast.stmt]) -> frozenset[str]:
+    """The names listed by a first-level ``__bounds__ = (...)``."""
+    for stmt in body:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "__bounds__"):
+            value = stmt.value
+            if isinstance(value, (ast.Tuple, ast.List)):
+                return frozenset(
+                    elt.value for elt in value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                )
+            if isinstance(value, ast.Constant) \
+                    and isinstance(value.value, str):
+                return frozenset({value.value})
+    return frozenset()
+
+
+def class_bounds(klass: ClassInfo) -> frozenset[str]:
+    """Attribute names declared bounded in the class body."""
+    return _bounds_tuple(klass.node.body)
+
+
+def module_bounds(module: ModuleInfo) -> frozenset[str]:
+    """``Class.attr`` (or bare ``attr``) names declared bounded at
+    module level."""
+    return _bounds_tuple(module.tree.body)

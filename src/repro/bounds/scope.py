@@ -1,0 +1,64 @@
+"""The bounds scope: code that runs forever or on behalf of peers.
+
+A container that grows only during setup (wiring a cluster, loading a
+fixture) is somebody's one-shot problem; a container that grows on a
+path the scheduler or the RPC fabric re-enters indefinitely is a leak.
+The bounds rules therefore scope themselves to the transitive closure
+(over executing call edges, as in :mod:`repro.flow.hotset`) of three
+root families:
+
+* every pump or timer registered on the scheduler -- code that runs
+  every round, forever;
+* every RPC handler reachable through the fabric
+  (``graph.rpc_handlers``) -- code a remote peer can drive as often as
+  it likes;
+* every ``@hot_path`` root -- the declared entry points of the serving
+  path (the smart client's senders sit *upstream* of the fabric, so
+  pump/RPC reachability alone would miss their retry loops).
+
+The result reuses :class:`repro.flow.hotset.HotSet` so findings can
+print the same provenance chains ("grows here, reachable via
+pump:flusher <- KVEngine.flush").
+"""
+
+from __future__ import annotations
+
+from ..flow.callgraph import CallGraph
+from ..flow.hotset import EXECUTING_KINDS, HotSet, is_hot_root
+from ..flow.project import Project
+
+
+def derive_bounds_scope(project: Project, graph: CallGraph) -> HotSet:
+    """Collect pump/timer/RPC/@hot_path roots and close over executing
+    call edges."""
+    scope = HotSet()
+    for registration in graph.pumps:
+        if registration.target in project.functions:
+            scope.roots.setdefault(
+                registration.target,
+                f"{registration.kind}:{registration.name or '<dynamic>'}",
+            )
+    for rpc_name, handlers in graph.rpc_handlers.items():
+        for handler in handlers:
+            if handler in project.functions:
+                scope.roots.setdefault(handler, f"rpc:{rpc_name}")
+    for fqn, func in project.functions.items():
+        if is_hot_root(func):
+            scope.roots.setdefault(fqn, "@hot_path")
+
+    frontier = sorted(scope.roots)
+    for fqn in frontier:
+        scope.members.add(fqn)
+        scope.pulled_in_by[fqn] = None
+    while frontier:
+        caller = frontier.pop()
+        for edge in graph.out_edges(caller):
+            if edge.kind not in EXECUTING_KINDS:
+                continue
+            callee = edge.callee
+            if callee in scope.members or callee not in project.functions:
+                continue
+            scope.members.add(callee)
+            scope.pulled_in_by[callee] = caller
+            frontier.append(callee)
+    return scope

@@ -61,6 +61,10 @@ class BatchResult:
     ``errors`` (or use :meth:`require_ok`) so one bad key cannot mask
     the other N-1 outcomes."""
 
+    #: Bounded by the batch: every key of one call lands in exactly one
+    #: of the two dicts, and the object lives for that one call.
+    __bounds__ = ("results", "errors")
+
     results: dict[str, Any] = field(default_factory=dict)
     errors: dict[str, Exception] = field(default_factory=dict)
 
@@ -129,6 +133,16 @@ class SmartClient:
             raise BucketNotFoundError(bucket)
         self._maps[bucket] = cluster_map
         return cluster_map
+
+    def close(self) -> None:
+        """Release this handle's server-side admission state.  Handles
+        get a fresh unique name per connect, so an application that
+        connects and discards handles without closing them leaks one
+        tenant bucket per connection in the controller (found by
+        repro-bounds)."""
+        if self.admission is not None:
+            self.admission.unregister_client(self.name)
+        self._maps.clear()
 
     @hot_path
     @cost("O(log n)")

@@ -304,8 +304,15 @@ class ClusterManager:
 
     # -- internals --------------------------------------------------------------------
 
+    #: Retained observability-event history.  The log is fed from the
+    #: failure-detector pump, so without a cap a long-running cluster
+    #: accumulates events forever (found by repro-bounds).
+    EVENT_LOG_LIMIT = 512
+
     def _log(self, event: str, detail: str) -> None:
         self.event_log.append((self.clock.now(), event, detail))
+        if len(self.event_log) > self.EVENT_LOG_LIMIT:
+            del self.event_log[: len(self.event_log) - self.EVENT_LOG_LIMIT]
 
     def stats(self) -> dict:
         return {

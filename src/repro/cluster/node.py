@@ -262,6 +262,14 @@ class Node:
                             doc: Document) -> None:
         self.engine(bucket).apply_replicated(vbucket_id, doc)
 
+    @declared_raises('BucketNotFoundError', 'NotMyVBucketError')
+    def kv_replica_apply_batch(self, bucket: str, vbucket_id: int,
+                               docs: list[Document]) -> None:
+        """Replication inbound, batched: one RPC applies one DCP stream
+        batch for one vBucket (the replica-side mirror of
+        :meth:`kv_multi_mutate`)."""
+        self.engine(bucket).apply_replicated_batch(vbucket_id, docs)
+
     @declared_raises('BucketNotFoundError', 'CorruptFileError',
                      'InvalidArgumentError', 'KeyNotFoundError',
                      'NotMyVBucketError', 'TemporaryFailureError')

@@ -1,0 +1,67 @@
+"""Declared resource-bound contracts for containers and caches.
+
+The paper's system is a *managed* cache: every queue, cache, and
+accounting counter lives under a finite memory quota (sections 2 and
+4.2), so any container that grows on a pump- or RPC-reachable path must
+either be structurally bounded (a ``maxlen`` deque, an evicting cache, a
+queue with a registered consumer pump) or carry a written justification.
+``repro.bounds`` is the analyzer that enforces this; this module is the
+declaration side of the contract:
+
+* ``@bounded(kind, reason)`` marks a growth site's function (or the
+  class owning the container) as *deliberately* bounded by a mechanism
+  the analyzer cannot see structurally.  ``kind`` names the mechanism:
+
+  - ``"maxlen"``: a hard size cap enforced elsewhere (config knob,
+    fixed key space, construction-time limit);
+  - ``"evicted"``: an eviction/expiry policy reclaims entries (LRU
+    sweep, epoch invalidation, idle-entry reaping);
+  - ``"consumer-drained"``: a consumer outside the class (another pump,
+    an RPC peer) drains the container, so local growth is transient.
+
+* ``__bounds__`` declares the same thing at module level for containers
+  whose growth and draining sites are too spread out for a decorator:
+  a tuple of ``"Class.attribute"`` (or bare ``"attribute"``) strings.
+  Use the decorator where possible -- it sits next to the growth site;
+  ``__bounds__`` is for shared state mutated from many functions.
+
+Like ``@hot_path``/``@cost`` these are **zero-overhead at runtime**:
+the decorator attaches attributes and returns the function unwrapped,
+and the analyzer reads both forms statically off the AST -- the module
+never needs to be importable for analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from .errors import InvalidArgumentError
+
+F = TypeVar("F", bound=Callable)
+
+#: The declarable bounding mechanisms.  Anything that fits none of these
+#: is not bounded -- fix the container instead of inventing a kind.
+BOUND_KINDS = ("maxlen", "evicted", "consumer-drained")
+
+
+def bounded(kind: str, reason: str) -> Callable[[F], F]:
+    """Declare that the containers this function grows are bounded.
+
+    ``kind`` must be one of :data:`BOUND_KINDS` and ``reason`` must say
+    *what* enforces the bound (one line, specific: "capped at
+    FAILOVER_LOG_LIMIT entries", not "small in practice").  Returns the
+    function unchanged; ``repro.bounds`` reads the declaration
+    statically and exempts the function's growth sites.
+    """
+    if kind not in BOUND_KINDS:
+        raise InvalidArgumentError(
+            f"bound kind must be one of {BOUND_KINDS}, got {kind!r}"
+        )
+    if not reason or not reason.strip():
+        raise InvalidArgumentError("bounded() requires a non-empty reason")
+
+    def mark(fn: F) -> F:
+        fn.__bounded__ = (kind, reason)
+        return fn
+
+    return mark

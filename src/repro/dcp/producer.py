@@ -43,6 +43,8 @@ class DcpStream:
         # deque, not list: backfill parks the entire persisted history
         # here, and take() drains from the left -- list.pop(0) would
         # shift the whole backlog per message (quadratic per stream).
+        # Consumer-drained (repro-bounds): every pump that owns a
+        # stream calls take() each round until caught_up().
         self._pending: deque[DcpMessage] = deque()
         #: Stable per-run identity for the write-race tracker: the first
         #: pump to take() from this stream owns it; anyone else taking

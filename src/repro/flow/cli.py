@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 from ..analysis import (
     EXIT_CLEAN,
@@ -23,12 +22,14 @@ from ..analysis import (
     EXIT_USAGE,
     FORMATS,
     PROFILES,
-    discover,
-    github_annotation,
-    profile_for,
-    suppressed,
+    UsageError,
+    discover_program,
+    keep_finding,
+    print_finding,
+    report_parse_errors,
+    select_checks,
+    suppressions_by_path,
 )
-from ..common.errors import InvalidArgumentError
 from .callgraph import build_callgraph
 from .deadcode import analyze_dead_code
 from .excflow import analyze_exceptions
@@ -89,59 +90,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _selected(arg: str | None) -> tuple[str, ...]:
-    if arg is None:
-        return ANALYSES
-    names = tuple(name.strip() for name in arg.split(",") if name.strip())
-    unknown = [name for name in names if name not in ANALYSES]
-    if unknown:
-        raise InvalidArgumentError(
-            f"unknown analysis {', '.join(unknown)} "
-            f"(choose from {', '.join(ANALYSES)})"
-        )
-    return names
-
-
-def _keep(finding: FlowFinding, project: Project, requested: str) -> bool:
-    module = next(
-        (m for m in project.modules.values() if m.path == finding.path),
-        None,
-    )
-    if module is not None and suppressed(finding.check, finding.line,
-                                         module.suppressions):
-        return False
-    profile = profile_for(Path(finding.path), requested)
-    if profile == "relaxed" and finding.check in RELAXED_EXEMPT:
-        return False
-    return True
-
-
-def _print_finding(finding: FlowFinding, output_format: str) -> None:
-    if output_format == "github":
-        print(github_annotation(
-            finding.message, title=f"repro-flow: {finding.check}",
-            path=finding.path, line=finding.line, col=finding.col,
-        ))
-    else:
-        print(finding.format())
-
-
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
-        checks = _selected(args.check)
-    except InvalidArgumentError as exc:
+        checks = select_checks(args.check, ANALYSES, label="analysis")
+    except UsageError as exc:
         print(f"repro-flow: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    files = discover(args.paths)
-    if not files:
-        print(f"repro-flow: no Python files under {args.paths}",
-              file=sys.stderr)
+    files = discover_program(args.paths, "repro-flow")
+    if files is None:
         return EXIT_USAGE
-    project = Project.build(Path(f) for f in files)
+    project = Project.build(files)
     if project.parse_errors:
-        for path, line, message in project.parse_errors:
-            print(f"repro-flow: {path}:{line}: {message}", file=sys.stderr)
+        report_parse_errors(project.parse_errors, "repro-flow")
         return EXIT_USAGE
     graph = build_callgraph(project)
 
@@ -166,10 +127,14 @@ def main(argv: list[str] | None = None) -> int:
         findings.extend(analyze_options(graph))
     if "layers" in checks:
         findings.extend(analyze_layers(project))
-    findings = [f for f in findings if _keep(f, project, args.profile)]
+    suppressions = suppressions_by_path(project.modules.values(),
+                                        "repro-flow")
+    findings = [f for f in findings
+                if keep_finding(f, suppressions, args.profile,
+                                RELAXED_EXEMPT)]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.check))
     for finding in findings:
-        _print_finding(finding, args.output_format)
+        print_finding(finding, "repro-flow", args.output_format)
     if not args.quiet:
         print(
             f"repro-flow: {len(findings)} finding"

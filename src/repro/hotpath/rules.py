@@ -402,6 +402,14 @@ class _FunctionScan(ast.NodeVisitor):
         is_client = receiver is not None and (
             receiver in CLIENT_RECEIVERS or receiver.endswith("_client")
         )
+        if is_client and name == "call" and any(
+                isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                and ("multi" in arg.value or "batch" in arg.value
+                     or "fanout" in arg.value)
+                for arg in node.args):
+            # The loop dispatches an explicitly batched RPC (one call
+            # serves many items) -- exactly what this rule asks for.
+            return
         if (is_client and name in SINGLE_KEY_OPS) or (
                 is_client and name == "call") or name in {"_call",
                                                           "_routed_call"}:

@@ -20,6 +20,7 @@ import itertools
 from typing import Callable, Iterator
 
 from ..common import tracing
+from ..common.boundsmodel import bounded
 from ..common.costmodel import cost, hot_path
 from ..common.clock import Clock, VirtualClock
 from ..common.disk import SimulatedDisk
@@ -244,6 +245,8 @@ class KVEngine:
         ):
             raise CasMismatchError(key, cas, entry.doc.meta.cas)
 
+    @bounded("consumer-drained", "dirty_queue is trimmed by the flusher "
+                                 "pump one batch per round")
     def _apply_mutation(self, vb: VBucket, doc: Document) -> None:
         """Common tail of every active-side write: cache it, queue it for
         disk, buffer it for DCP, notify listeners."""
@@ -596,21 +599,35 @@ class KVEngine:
     # -- replica side (DCP consumer) ----------------------------------------------
 
     @hot_path
-    @cost("O(log n)")
+    @cost("O(n)")
     def apply_replicated(self, vbucket_id: int, doc: Document) -> None:
         """Apply a mutation received over DCP to a replica or pending
-        vBucket.  Seqno/CAS arrive pre-assigned by the active side."""
+        vBucket.  Seqno/CAS arrive pre-assigned by the active side.
+        Thin single-doc wrapper over the batch path (n = 1)."""
+        self.apply_replicated_batch(vbucket_id, [doc])
+
+    @hot_path
+    @cost("O(n)")
+    def apply_replicated_batch(self, vbucket_id: int,
+                               docs: list[Document]) -> None:
+        """Apply one DCP stream batch to a replica or pending vBucket.
+        The ownership check runs once for the whole batch -- the replica
+        either hosts the vBucket (and takes every message, preserving
+        stream order) or rejects the batch before touching anything,
+        mirroring :meth:`multi_mutate`'s one-RPC-per-node contract on
+        the active side."""
         vb = self.vbuckets.get(vbucket_id)
         if vb is None or vb.state is VBucketState.ACTIVE:
             raise NotMyVBucketError(vbucket_id, self.node_name)
-        tracing.record_write(f"kv/{self.node_name}/{self.bucket_name}")
-        copy = doc.copy()
-        vb.hashtable.set(copy, dirty=True)
-        vb.dirty_queue.append(copy.key)
-        vb.high_seqno = max(vb.high_seqno, copy.meta.seqno)
-        vb.high_cas = max(vb.high_cas, copy.meta.cas)
-        vb.record_change(copy)
-        self.metrics.inc("kv.replica_mutations")
+        for doc in docs:
+            tracing.record_write(f"kv/{self.node_name}/{self.bucket_name}")
+            copy = doc.copy()
+            vb.hashtable.set(copy, dirty=True)
+            vb.dirty_queue.append(copy.key)
+            vb.high_seqno = max(vb.high_seqno, copy.meta.seqno)
+            vb.high_cas = max(vb.high_cas, copy.meta.cas)
+            vb.record_change(copy)
+        self.metrics.inc("kv.replica_mutations", len(docs))
 
     # -- background pumps ------------------------------------------------------------
 
@@ -622,6 +639,7 @@ class KVEngine:
         entries clean, and advances persisted seqnos.  Returns True if
         anything was written."""
         budget = max_batch if max_batch is not None else self.FLUSH_BATCH
+        self.metrics.observe("kv.queue_depth", self.pending_writes())
         wrote = False
         for vb in self.vbuckets.values():
             if not vb.dirty_queue or budget <= 0:
@@ -737,14 +755,21 @@ class KVEngine:
         self.run_item_pager()
         if self._memory_used + needed > self.quota_bytes:
             backlog = self.pending_writes()
+            memory_ratio = self._memory_used / self.quota_bytes
             self.metrics.inc("kv.tmpfails")
+            self.metrics.observe("kv.queue_depth", backlog)
+            # Honest relief hint: flusher rounds needed to clear the
+            # write backlog, stretched by how far past quota memory
+            # already is -- a deep queue at 120% of quota asks clients
+            # to stay away longer than a marginal overshoot.
             raise TemporaryFailureError(
                 f"bucket {self.bucket_name!r} memory quota exhausted on "
                 f"{self.node_name!r}; retry after the flusher catches up",
                 retry_after=self.TMPFAIL_RETRY_QUANTUM
-                * (1 + backlog // self.FLUSH_BATCH),
+                * (1 + backlog // self.FLUSH_BATCH)
+                * max(1.0, memory_ratio),
                 pending_writes=backlog,
-                memory_ratio=self._memory_used / self.quota_bytes,
+                memory_ratio=memory_ratio,
             )
 
     @hot_path

@@ -11,12 +11,17 @@ import argparse
 import sys
 from pathlib import Path
 
-from ..analysis import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, FORMATS
+from ..analysis import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    FORMATS,
+    discover_program,
+)
 from .engine import (
     PROFILES,
     _ConfigError,
     all_rules,
-    discover,
     lint_file,
     profile_for,
 )
@@ -66,10 +71,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule.name}\n    {rule.invariant}")
         return EXIT_CLEAN
     select = args.select.split(",") if args.select else None
-    files = discover(args.paths)
-    if not files:
-        print(f"repro-lint: no Python files under {args.paths}",
-              file=sys.stderr)
+    files = discover_program(args.paths, "repro-lint")
+    if files is None:
         return EXIT_USAGE
     violations = []
     try:

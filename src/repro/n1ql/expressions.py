@@ -49,6 +49,10 @@ class Env:
 
     __slots__ = ("values", "metas", "parent")
 
+    #: One frame holds at most one binding per alias/LET name of the
+    #: query; frames live for one row of one operator.
+    __bounds__ = ("values", "metas")
+
     def __init__(self, parent: "Env | None" = None):
         self.values: dict[str, Any] = {}
         self.metas: dict[str, dict] = {}

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any, Iterator
 
+from ..common.boundsmodel import bounded
 from ..common.costmodel import cost, hot_path
 from ..common.errors import KeyNotFoundError, N1qlRuntimeError
 from .collation import MISSING
@@ -414,6 +415,9 @@ class FetchState:
         #: Keys already bound to at least one emitted row.
         self.bound: set[str] = set()
 
+    @bounded("maxlen", "docs/bound hold at most one entry per distinct "
+                       "key of one query's rows; the state dies with "
+                       "the operator")
     def drain(self, buffered: list[Env]) -> list[Env]:
         op, ctx, docs = self.op, self.ctx, self.docs
         fresh: list[str] = []

@@ -83,7 +83,10 @@ class Bounds:
     #: WHERE conjuncts *fully absorbed* into these bounds: every row the
     #: bounds admit satisfies the conjunct.  LIKE-prefix ranges are not
     #: recorded (the range is a superset of the matches).  Used for the
-    #: LIMIT-pushdown subsumption check.
+    #: LIMIT-pushdown subsumption check.  At most one entry per WHERE
+    #: conjunct of the statement being planned.
+    __bounds__ = ("sources",)
+
     sources: list = field(default_factory=list)
 
     @property

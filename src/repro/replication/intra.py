@@ -58,28 +58,29 @@ class IntraReplicator:
                 del self._streams[(vbucket_id, target)]
                 continue
             messages = stream.take(self.BATCH)
-            for message in messages:
-                if not isinstance(message, (Mutation, Deletion)):
-                    continue
-                try:
-                    # Per-message apply mirrors DCP's memory-to-memory
-                    # stream and keeps per-message NotMyVBucket/down
-                    # handling; batching replica apply is a ROADMAP item.
-                    # repro-hotpath: disable-next=n-plus-one-rpc
-                    self.network.call(
-                        self.node.name, target, "kv_apply_replicated",
-                        self.bucket, vbucket_id, message.doc,
-                    )
-                    moved = True
-                except NodeDownError:
-                    # Target unreachable: drop the stream; the next map
-                    # revision (failover) or reachability change will
-                    # recreate it from the target's seqno.
-                    del self._streams[(vbucket_id, target)]
-                    break
-                except NotMyVBucketError:
-                    del self._streams[(vbucket_id, target)]
-                    break
+            docs = [message.doc for message in messages
+                    if isinstance(message, (Mutation, Deletion))]
+            if not docs:
+                continue
+            try:
+                # One RPC per stream batch: consecutive mutations for
+                # one (vBucket, replica) pair coalesce into a single
+                # kv_replica_apply_batch, the replica-side mirror of the
+                # client's kv_multi_mutate.  The batch applies in stream
+                # order, so a failure rejects it wholesale and the next
+                # handshake resumes from the replica's seqno.
+                self.network.call(
+                    self.node.name, target, "kv_replica_apply_batch",
+                    self.bucket, vbucket_id, docs,
+                )
+                moved = True
+            except NodeDownError:
+                # Target unreachable: drop the stream; the next map
+                # revision (failover) or reachability change will
+                # recreate it from the target's seqno.
+                del self._streams[(vbucket_id, target)]
+            except NotMyVBucketError:
+                del self._streams[(vbucket_id, target)]
         return moved
 
     def _rebuild_streams(self, cluster_map) -> None:

@@ -30,6 +30,12 @@ RT_HEADER = 3
 class AppendLog:
     """Record framing over an append-only file."""
 
+    #: The backing file grows by design -- it *is* the persisted data.
+    #: Compaction bounds it: the live set is rewritten into a fresh
+    #: file and swapped in (see ``KVEngine.compact``), which is the
+    #: eviction mechanism for dead records.
+    __bounds__ = ("file",)
+
     def __init__(self, file: SimulatedFile):
         self.file = file
         #: Decoded-record cache used by the B-tree layer (offset ->

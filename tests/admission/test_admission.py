@@ -217,6 +217,49 @@ class TestController:
         # Tenants are isolated: a different tenant still has its burst.
         controller.acquire("kv", "t2")()
 
+    def test_unconfigured_tenant_gets_fair_share_not_a_free_pass(
+            self, scheduler):
+        """Regression: once a deployment configures a service budget, a
+        tenant nobody provisioned must NOT be unlimited -- it gets
+        ``tenant_fair_share`` of the service budget, so one greedy
+        handle cannot starve the tenants an operator actually set up."""
+        controller = self.make(
+            scheduler,
+            service_rates={"kv": (10.0, 10.0)},
+            tenant_rates={"vip": (10.0, 4.0)},
+        )
+        # The greedy unconfigured tenant hits its half-budget wall...
+        for _ in range(5):
+            controller.acquire("kv", "greedy")()
+        with pytest.raises(AdmissionRejectedError):
+            controller.acquire("kv", "greedy")
+        # ...while the explicitly provisioned tenant is still admitted.
+        for _ in range(4):
+            controller.acquire("kv", "vip")()
+
+    def test_fair_share_only_applies_with_a_service_budget(self, scheduler):
+        controller = self.make(scheduler)
+        for _ in range(100):
+            controller.acquire("kv", "anyone")()
+
+    def test_overload_weight_scales_with_error_metadata(self, scheduler):
+        controller = self.make(scheduler)
+        controller.note_overload("flat")
+        deep_error = TemporaryFailureError(
+            retry_after=0.1, pending_writes=512, memory_ratio=1.5)
+        controller.note_overload("deep", deep_error)
+        assert controller._pressure["flat"][0] == pytest.approx(1.0)
+        # 1.0 base + 512/pressure_depth_scale + (1.5 - 1.0) overshoot.
+        assert controller._pressure["deep"][0] == pytest.approx(3.5)
+
+    def test_overload_weight_is_capped(self, scheduler):
+        controller = self.make(scheduler)
+        monster = TemporaryFailureError(
+            retry_after=0.1, pending_writes=10 ** 6, memory_ratio=9.0)
+        controller.note_overload("node1", monster)
+        assert controller._pressure["node1"][0] == pytest.approx(
+            controller.config.pressure_weight_cap)
+
     def test_service_bulkhead_isolates_compartments(self, scheduler):
         controller = self.make(scheduler, service_inflight={"n1ql": 1})
         held = controller.acquire("n1ql", "q")

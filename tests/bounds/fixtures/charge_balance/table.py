@@ -1,0 +1,27 @@
+"""Known-bad fixture: a memory-accounted store whose delete path
+forgets the negative charge, so the counter keeps counting freed
+bytes."""
+
+
+def hot_path(fn):
+    return fn
+
+
+class AccountedTable:
+    def __init__(self):
+        self.entries = {}
+        self.mem_used = 0
+
+    def charge(self, delta):
+        self.mem_used += delta
+
+    @hot_path
+    def set(self, key, size):
+        self.entries[key] = size
+        self.charge(size)
+
+    @hot_path
+    def delete(self, key):
+        # Removes from the charged container with no charge(-...) on
+        # any path through this method: charge-balance must flag it.
+        del self.entries[key]

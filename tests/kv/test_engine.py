@@ -408,6 +408,48 @@ class TestEviction:
         assert engine.vbuckets[VB].hashtable.resident_ratio() == 1.0
 
 
+class TestQueueDepthBackpressure:
+    """The TMPFAIL ``retry_after`` hint is derived from the real flusher
+    backlog and memory overshoot -- a deeply-behind data path asks
+    clients to stay away longer -- and queue depth is published as the
+    ``kv.queue_depth`` histogram."""
+
+    def provoke(self, quota, pad):
+        engine = KVEngine("node1", "default", quota_bytes=quota)
+        engine.create_vbucket(VB)
+        with pytest.raises(TemporaryFailureError) as exc_info:
+            for i in range(10_000):
+                engine.upsert(VB, f"k{i}", {"pad": "x" * pad})
+        return engine, exc_info.value
+
+    def test_retry_hint_reflects_backlog_and_overshoot(self):
+        engine, err = self.provoke(quota=200_000, pad=16)
+        assert err.pending_writes == engine.pending_writes()
+        assert err.pending_writes > engine.FLUSH_BATCH
+        assert err.memory_ratio > engine.HIGH_WATERMARK
+        expected = (engine.TMPFAIL_RETRY_QUANTUM
+                    * (1 + err.pending_writes // engine.FLUSH_BATCH)
+                    * max(1.0, err.memory_ratio))
+        assert err.retry_after == pytest.approx(expected)
+        # Backlog past one flusher batch means more than the base quantum.
+        assert err.retry_after > engine.TMPFAIL_RETRY_QUANTUM
+
+    def test_deeper_backlog_asks_for_longer_relief(self):
+        _, shallow = self.provoke(quota=20_000, pad=400)  # few large docs
+        _, deep = self.provoke(quota=200_000, pad=16)     # many small docs
+        assert shallow.pending_writes < deep.pending_writes
+        assert shallow.retry_after < deep.retry_after
+
+    def test_queue_depth_metric_is_observed(self):
+        engine, err = self.provoke(quota=20_000, pad=400)
+        depth = engine.metrics.histograms["kv.queue_depth"]
+        assert depth.count >= 1
+        assert depth.max >= err.pending_writes
+        before = depth.count
+        engine.flush()
+        assert depth.count == before + 1
+
+
 class TestChangeBuffer:
     def test_mutations_recorded_in_order(self, engine):
         engine.upsert(VB, "a", 1)

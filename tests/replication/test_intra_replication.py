@@ -128,6 +128,40 @@ class TestLineageHandshake:
         assert cluster.node(replica_name).engines["b"].vbuckets[vb].uuid == marker
 
 
+class TestBatchedReplicaApply:
+    def test_pump_coalesces_mutations_into_batch_rpcs(self, cluster, client):
+        """A round of DCP messages for one vBucket travels as ONE
+        kv_replica_apply_batch RPC, not one RPC per mutation."""
+        cluster.run_until_idle()
+        cluster.network.reset_counters()
+        for i in range(40):
+            client.upsert("b", f"batch-k{i}", {"i": i})
+        cluster.run_until_idle()
+        calls = cluster.network.calls
+        batch_calls = sum(
+            count for (_dst, method), count in calls.items()
+            if method == "kv_replica_apply_batch"
+        )
+        per_doc_calls = sum(
+            count for (_dst, method), count in calls.items()
+            if method == "kv_apply_replicated"
+        )
+        assert per_doc_calls == 0
+        assert 0 < batch_calls < 40
+
+    def test_batched_replicas_converge(self, cluster, client):
+        for i in range(40):
+            client.upsert("b", f"conv-k{i}", i)
+        cluster.run_until_idle()
+        cluster_map = cluster.manager.cluster_maps["b"]
+        for i in range(40):
+            vb = cluster_map.vbucket_for_key(f"conv-k{i}")
+            for replica in cluster_map.replica_nodes(vb):
+                replica_vb = cluster.node(replica).engines["b"].vbuckets[vb]
+                entry = replica_vb.hashtable.peek(f"conv-k{i}")
+                assert entry is not None and entry.doc.value == i
+
+
 class TestReplicationUnderLoad:
     def test_interleaved_writes_and_stream_reopens(self, cluster, client):
         for round_number in range(5):
