@@ -26,6 +26,7 @@ from __future__ import annotations
 from random import Random
 
 from ..common.metrics import MetricsRegistry
+from ..common.protomodel import protocol
 from ..common.scheduler import Scheduler
 
 CLOSED = "closed"
@@ -33,6 +34,16 @@ OPEN = "open"
 HALF_OPEN = "half-open"
 
 
+@protocol(
+    # The docstring's machine, verbatim: closed trips open, open cools
+    # down to half-open, and only a half-open probe outcome decides
+    # between closing and re-opening.  OPEN->CLOSED is deliberately
+    # absent: a success reported while open is a stale in-flight call,
+    # and honoring it would reset the breaker mid-cooldown.
+    "CLOSED->OPEN", "OPEN->HALF_OPEN",
+    "HALF_OPEN->CLOSED", "HALF_OPEN->OPEN",
+    field="state",
+)
 class CircuitBreaker:
     """Overload breaker for one target node."""
 
@@ -80,7 +91,10 @@ class CircuitBreaker:
     # -- outcome reporting -------------------------------------------------
 
     def record_success(self) -> None:
-        if self.state != CLOSED:
+        # Only a half-open probe's success closes the breaker.  A late
+        # success while OPEN (an in-flight call from before the trip)
+        # says nothing about recovery and must not short the cooldown.
+        if self.state == HALF_OPEN:
             self._close()
         self.failures = 0
 

@@ -601,7 +601,15 @@ class SmartClient:
 
     # -- N1QL API (section 3.1.3) ---------------------------------------------------------
 
-    @declared_raises('NotConnectedError', 'ServiceUnavailableError')
+    @declared_raises('AdmissionRejectedError', 'BucketNotFoundError',
+                     'CorruptFileError', 'DiskFullError', 'DurabilityError',
+                     'DurabilityImpossibleError', 'IndexExistsError',
+                     'IndexNotFoundError', 'InvalidArgumentError',
+                     'KeyNotFoundError', 'N1qlRuntimeError',
+                     'N1qlSemanticError', 'NoSuitableIndexError',
+                     'NodeDownError', 'NotConnectedError', 'NotMyVBucketError',
+                     'ServiceUnavailableError', 'TemporaryFailureError',
+                     'ViewExistsError', 'ViewNotFoundError')
     def query(self, statement: str, params=None,
               scan_consistency: str = "not_bounded",
               consistent_with=None):
@@ -614,8 +622,9 @@ class SmartClient:
 
     # -- view query API (section 3.1.2) -------------------------------------------------
 
-    @declared_raises('InvalidArgumentError', 'NotConnectedError',
-                     'TimeoutError_', 'ViewNotFoundError')
+    @declared_raises('CorruptFileError', 'InvalidArgumentError',
+                     'NotConnectedError', 'TimeoutError_',
+                     'ViewNotFoundError', 'ViewQueryError')
     def view_query(self, bucket: str, design: str, view: str, **params):
         """Query a view with the REST-style parameters (key, keys,
         startkey/endkey, stale, group, limit, ...)."""

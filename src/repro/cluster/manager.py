@@ -202,6 +202,7 @@ class ClusterManager:
         mutations; re-arms itself while the bucket exists on the node."""
         engine = node.engines.get(bucket)
 
+        @declared_raises('TemporaryFailureError')
         def fire() -> None:
             if node.engines.get(bucket) is not engine:
                 return  # bucket dropped; stop re-arming
@@ -231,7 +232,8 @@ class ClusterManager:
 
     # -- failure detection & failover ------------------------------------------------------
 
-    @declared_raises('NodeNotFoundError')
+    @declared_raises('CorruptFileError', 'InvalidArgumentError',
+                     'NodeNotFoundError')
     def _pump(self) -> bool:
         """Heartbeat sweep: notice unreachable nodes; auto-failover those
         unreachable longer than the timeout."""

@@ -109,6 +109,7 @@ class Node:
 
     # -- cluster map application -------------------------------------------------
 
+    @declared_raises('CorruptFileError', 'InvalidArgumentError')
     def apply_cluster_map(self, bucket: str, cluster_map: ClusterMap) -> None:
         """Reconcile local vBucket states with the authoritative map.
 
@@ -208,7 +209,8 @@ class Node:
     def kv_unlock(self, bucket: str, vbucket_id: int, key: str, cas: int) -> None:
         self.engine(bucket).unlock(vbucket_id, key, cas)
 
-    @declared_raises('BucketNotFoundError', 'NotMyVBucketError')
+    @declared_raises('BucketNotFoundError', 'CorruptFileError',
+                     'InvalidArgumentError', 'NotMyVBucketError')
     def kv_observe(self, bucket: str, vbucket_id: int, key: str) -> ObserveResult:
         return self.engine(bucket).observe(vbucket_id, key)
 
@@ -286,7 +288,12 @@ class Node:
         """Blow away a divergent replica so replication can rebuild it
         from seqno 0 (the rollback-to-zero recovery path)."""
         engine = self.engine(bucket)
+        vb = engine.vbuckets.get(vbucket_id)
         engine.drop_vbucket(vbucket_id)
+        if vb is not None:
+            # ``create_vbucket`` recovers whatever the old file holds;
+            # a rollback-to-zero rebuild must start from empty disk.
+            vb.store.destroy()
         engine.create_vbucket(vbucket_id, VBucketState.REPLICA)
 
     @declared_raises('BucketNotFoundError')
@@ -313,12 +320,18 @@ class Node:
 
     # -- view RPC surface (scatter/gather targets, section 4.3.3) ------------------------
 
+    @declared_raises('CorruptFileError', 'InvalidArgumentError',
+                     'ViewNotFoundError', 'ViewQueryError')
     def view_query_local(self, bucket: str, design: str, view: str, params) -> dict:
         return self.view_engines[bucket].local_query(design, view, params)
 
+    @declared_raises('CorruptFileError', 'DiskFullError',
+                     'InvalidArgumentError', 'KeyNotFoundError',
+                     'ViewExistsError')
     def view_define(self, bucket: str, definition) -> None:
         self.view_engines[bucket].define_view(definition)
 
+    @declared_raises('ViewNotFoundError')
     def view_drop(self, bucket: str, design: str, view: str) -> None:
         self.view_engines[bucket].drop_view(design, view)
 

@@ -1,0 +1,110 @@
+"""Declared state-machine protocols for lifecycle-bearing fields.
+
+The system's hottest correctness surface is a handful of small state
+machines: vBucket states driving rebalance/failover (section 4.3.1),
+the admission circuit breaker, DCP stream phases, XDCR stream slots.
+Every one is "just an attribute assignment" at the write site, which is
+exactly why regressions slip in silently.  ``repro.proto`` is the
+analyzer that checks those assignments against a declared transition
+relation; this module is the declaration side of the contract:
+
+* ``@protocol("A->B", "B->C", ...)`` on an :class:`~enum.Enum` declares
+  the machine on the *state type*: every field that holds members of
+  the enum is a state field of this protocol, wherever it lives.
+
+* ``@protocol("A->B", ..., field="state")`` on an ordinary class
+  declares the machine on the *owning class* for fields whose states
+  are plain named constants (the circuit breaker's ``CLOSED`` /
+  ``OPEN`` / ``HALF_OPEN`` strings).
+
+* ``__protocol__ = ("field", "A->B", ...)`` in a class body is the
+  tuple form of the same owning-class declaration, for classes where a
+  decorator is awkward.
+
+Semantics the analyzer enforces (see ``repro.proto`` for the rules):
+the declared pairs are the *only* legal transitions (self-transitions
+``A->A`` are implicitly allowed as no-ops); a state with no outgoing
+pairs is terminal (``DEAD`` never resurrects); ``order=("PENDING",
+"ACTIVE", "DEAD")`` additionally declares a handoff sequence that
+multi-step operations (a vBucket move) must follow in program order;
+and writes are only legal inside the module that owns the state field
+-- the static analog of the sanitizer's write-ownership choke points.
+
+Like ``@hot_path``/``@cost``/``@bounded`` these are **zero-overhead at
+runtime**: the decorator validates its arguments, attaches an
+attribute, and returns the class unwrapped.  The analyzer reads both
+forms statically off the AST, so fixture trees never need to be
+importable.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, TypeVar
+
+from .errors import InvalidArgumentError
+
+C = TypeVar("C", bound=type)
+
+#: Attribute the decorator attaches: ``(field_or_None, transitions,
+#: order)`` -- the runtime mirror of what the analyzer reads statically.
+PROTOCOL_ATTR = "__protocol_spec__"
+
+
+def parse_transition(raw: str) -> tuple[str, str]:
+    """Split one ``"A->B"`` declaration, validating its shape."""
+    if not isinstance(raw, str) or "->" not in raw:
+        raise InvalidArgumentError(
+            f"protocol transitions are 'FROM->TO' strings, got {raw!r}"
+        )
+    src, _, dst = raw.partition("->")
+    src, dst = src.strip(), dst.strip()
+    if not src or not dst:
+        raise InvalidArgumentError(
+            f"protocol transition {raw!r} needs both endpoints"
+        )
+    return src, dst
+
+
+def protocol(*transitions: str, field: str | None = None,
+             order: tuple[str, ...] = ()) -> Callable[[C], C]:
+    """Declare the allowed state transitions of a state machine.
+
+    On an :class:`~enum.Enum`, every endpoint must name a member; on an
+    ordinary class, ``field`` must name the state attribute and the
+    endpoints define the state vocabulary.  ``order`` names the handoff
+    sequence multi-step operations must respect (a subset of the
+    states, in required program order).  Returns the class unchanged.
+    """
+    if not transitions:
+        raise InvalidArgumentError("protocol() needs at least one transition")
+    pairs = tuple(parse_transition(raw) for raw in transitions)
+    states = {name for pair in pairs for name in pair}
+    for step in order:
+        if step not in states:
+            raise InvalidArgumentError(
+                f"order step {step!r} is not a state of this protocol"
+            )
+
+    def mark(cls: C) -> C:
+        if isinstance(cls, type) and issubclass(cls, Enum):
+            if field is not None:
+                raise InvalidArgumentError(
+                    "field= is for non-enum protocols; an enum protocol "
+                    "binds every field holding its members"
+                )
+            members = set(cls.__members__)
+            unknown = states - members
+            if unknown:
+                raise InvalidArgumentError(
+                    f"protocol on {cls.__name__} names non-members: "
+                    f"{sorted(unknown)}"
+                )
+        elif field is None:
+            raise InvalidArgumentError(
+                f"protocol on non-enum {cls.__name__} requires field="
+            )
+        setattr(cls, PROTOCOL_ATTR, (field, pairs, tuple(order)))
+        return cls
+
+    return mark

@@ -22,12 +22,32 @@ import itertools
 import math
 from collections import deque
 
+from enum import Enum
+
 from ..common import tracing
 from ..common.costmodel import cost, hot_path
 from ..common.errors import StreamRollbackRequired
+from ..common.protomodel import protocol
 from ..kv.engine import KVEngine, VBucket
 from ..kv.types import VBucketState
 from .messages import Deletion, DcpMessage, Mutation, SnapshotMarker, StreamEnd
+
+
+@protocol(
+    # A stream opens, backfills from disk when its start point was
+    # trimmed, then rides the in-memory buffer; falling behind the
+    # buffer trim drops it back to backfill.  CLOSED is terminal: a
+    # closed stream never resumes (consumers reopen a fresh one so the
+    # rollback handshake re-validates lineage).
+    "OPEN->BACKFILL", "OPEN->IN_MEMORY", "OPEN->CLOSED",
+    "BACKFILL->IN_MEMORY", "BACKFILL->CLOSED",
+    "IN_MEMORY->BACKFILL", "IN_MEMORY->CLOSED",
+)
+class DcpStreamState(Enum):
+    OPEN = "open"
+    BACKFILL = "backfill"
+    IN_MEMORY = "in-memory"
+    CLOSED = "closed"
 
 
 class DcpStream:
@@ -39,7 +59,7 @@ class DcpStream:
         self.vb = vb
         self.last_seqno = start_seqno
         self.end_seqno = end_seqno
-        self.closed = False
+        self.phase = DcpStreamState.OPEN
         # deque, not list: backfill parks the entire persisted history
         # here, and take() drains from the left -- list.pop(0) would
         # shift the whole backlog per message (quadratic per stream).
@@ -57,6 +77,10 @@ class DcpStream:
     @property
     def vbucket_id(self) -> int:
         return self.vb.id
+
+    @property
+    def closed(self) -> bool:
+        return self.phase is DcpStreamState.CLOSED
 
     def caught_up(self) -> bool:
         """True when the consumer has everything the vBucket has."""
@@ -84,12 +108,15 @@ class DcpStream:
             if isinstance(message, (Mutation, Deletion)):
                 self.last_seqno = message.seqno
             if isinstance(message, StreamEnd):
-                self.closed = True
+                self.phase = DcpStreamState.CLOSED
+                self.producer.engine.metrics.inc("dcp.stream_ended")
                 break
         return out
 
     def _refill(self) -> None:
         vb = self.vb
+        if self.phase is DcpStreamState.CLOSED:
+            return  # a closed stream never resumes
         if self.last_seqno >= self.end_seqno:
             self._pending.append(StreamEnd(vb.id, "ok"))
             return
@@ -104,6 +131,8 @@ class DcpStream:
         """Disk phase: stream the persisted de-duplicated history up to
         the point where the in-memory buffer takes over."""
         vb = self.vb
+        self.phase = DcpStreamState.BACKFILL
+        self.producer.engine.metrics.inc("dcp.stream_backfill")
         backfill_end = vb.buffer_start_seqno
         docs = [
             doc
@@ -128,6 +157,8 @@ class DcpStream:
 
     def _from_buffer(self) -> None:
         vb = self.vb
+        self.phase = DcpStreamState.IN_MEMORY
+        self.producer.engine.metrics.inc("dcp.stream_in_memory")
         items = [
             doc for doc in vb.change_buffer
             if self.last_seqno < doc.meta.seqno <= self.end_seqno
@@ -148,7 +179,8 @@ class DcpStream:
                 self._pending.append(Mutation(vb.id, doc.copy()))
 
     def close(self) -> None:
-        self.closed = True
+        self.phase = DcpStreamState.CLOSED
+        self.producer.engine.metrics.inc("dcp.stream_closed")
 
 
 class DcpProducer:

@@ -175,16 +175,24 @@ class _Builder:
                 for method in klass.methods.values():
                     env = self._initial_env(method)
                     for node in ast.walk(method.node):
-                        if not (isinstance(node, ast.Assign)
-                                and len(node.targets) == 1):
+                        if isinstance(node, ast.Assign) \
+                                and len(node.targets) == 1:
+                            target, tref = node.targets[0], None
+                        elif isinstance(node, ast.AnnAssign):
+                            # ``self.x: dict[str, Node] = {}`` declares
+                            # the type right at the assignment.
+                            target = node.target
+                            tref = self._ann_tref(node.annotation,
+                                                  method.module)
+                        else:
                             continue
-                        target = node.targets[0]
                         if not (isinstance(target, ast.Attribute)
                                 and isinstance(target.value, ast.Name)
                                 and target.value.id == "self"):
                             continue
-                        tref = self._infer(node.value, env, method,
-                                           emit=False)
+                        if tref is None and isinstance(node, ast.Assign):
+                            tref = self._infer(node.value, env, method,
+                                               emit=False)
                         if tref is None:
                             continue
                         kind, fqn = tref

@@ -33,6 +33,9 @@ from .storage import composite_compare, make_storage
 class IndexInstance:
     """One index's rows (or one partition of them) on one index node."""
 
+    #: one watermark per vbucket -- capacity is the vbucket keyspace.
+    __bounds__ = ("watermarks",)
+
     def __init__(self, definition: IndexDefinition, disk: SimulatedDisk,
                  node_name: str):
         self.definition = definition

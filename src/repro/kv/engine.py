@@ -200,18 +200,39 @@ class KVEngine:
         if vb is None:
             if state is VBucketState.DEAD:
                 return
-            vb = self.create_vbucket(vbucket_id, state)
+            self.create_vbucket(vbucket_id, state)
+            self.metrics.inc("kv.vbucket_state_changes")
+            return
+        if vb.state is VBucketState.DEAD:
+            # DEAD is terminal for a vBucket *copy* (no declared DEAD->*
+            # transition): reusing the id means a brand-new copy with a
+            # fresh lineage, never a resurrection of the dead one's
+            # documents -- so the dead copy's disk must go too.
+            if state is VBucketState.DEAD:
+                return
+            self.drop_vbucket(vbucket_id)
+            self.create_vbucket(vbucket_id, state)
+            self.metrics.inc("kv.vbucket_state_changes")
             return
         if state is VBucketState.ACTIVE and vb.state is not VBucketState.ACTIVE:
             vb.promote_to_active()
         else:
             vb.state = state
+        self.metrics.inc("kv.vbucket_state_changes")
 
     def drop_vbucket(self, vbucket_id: int) -> None:
         vb = self.vbuckets.pop(vbucket_id, None)
         if vb is not None:
             self._memory_used -= vb.hashtable.memory_used
             vb.hashtable.memory_listener = None
+            if vb.state is VBucketState.DEAD:
+                # Dropping a DEAD copy discards it for good.  Its file
+                # must go too: ``create_vbucket`` recovers whatever the
+                # disk holds, so a later reuse of this id (rebalance
+                # moving the vBucket back, failover rebuilding a
+                # replica) would otherwise resurrect the dead copy's
+                # documents under a stale lineage.
+                vb.store.destroy()
 
     def _active(self, vbucket_id: int) -> VBucket:
         vb = self.vbuckets.get(vbucket_id)

@@ -14,7 +14,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..common.protomodel import protocol
 
+
+@protocol(
+    # Rebalance: a move builds a PENDING copy that switches to ACTIVE;
+    # failover promotes a REPLICA directly; map reconciliation can
+    # demote an old ACTIVE to REPLICA.  Every copy can be torn down
+    # (-> DEAD), and DEAD is terminal: a dead copy's data must never
+    # resurrect -- it is rebuilt fresh (section 4.3.1).
+    "REPLICA->PENDING", "REPLICA->ACTIVE", "REPLICA->DEAD",
+    "PENDING->ACTIVE", "PENDING->DEAD",
+    "ACTIVE->REPLICA", "ACTIVE->DEAD",
+    # A vBucket handoff must build the PENDING copy before the ACTIVE
+    # switchover, and only then tear the old copy down.
+    order=("PENDING", "ACTIVE", "DEAD"),
+)
 class VBucketState(Enum):
     ACTIVE = "active"
     REPLICA = "replica"

@@ -212,14 +212,16 @@ class QueryService:
     # -- entry point --------------------------------------------------------------------
 
     @declared_raises('BucketNotFoundError', 'CasMismatchError',
-                     'CorruptFileError', 'DocumentLockedError',
-                     'DurabilityError', 'DurabilityImpossibleError',
-                     'IndexExistsError', 'IndexNotFoundError',
-                     'InvalidArgumentError', 'KeyNotFoundError',
-                     'N1qlRuntimeError', 'N1qlSemanticError',
-                     'NoSuitableIndexError', 'NodeDownError',
-                     'NotMyVBucketError', 'ServiceUnavailableError',
-                     'TemporaryFailureError', 'ValueTooLargeError')
+                     'CorruptFileError', 'DiskFullError',
+                     'DocumentLockedError', 'DurabilityError',
+                     'DurabilityImpossibleError', 'IndexExistsError',
+                     'IndexNotFoundError', 'InvalidArgumentError',
+                     'KeyNotFoundError', 'N1qlRuntimeError',
+                     'N1qlSemanticError', 'NoSuitableIndexError',
+                     'NodeDownError', 'NotMyVBucketError',
+                     'ServiceUnavailableError', 'TemporaryFailureError',
+                     'ValueTooLargeError', 'ViewExistsError',
+                     'ViewNotFoundError')
     def query(self, text: str, params=None,
               scan_consistency: str = "not_bounded",
               consistent_with=None) -> QueryResult:

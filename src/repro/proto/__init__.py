@@ -1,0 +1,28 @@
+"""repro-proto: static state-machine & protocol conformance analysis.
+
+The sixth analysis layer on the shared :mod:`repro.analysis` harness.
+Classes declare their lifecycle with ``@protocol`` / ``__protocol__``
+(:mod:`repro.common.protomodel`); this package reads those declarations
+off the AST, inventories every state-field write through the
+:mod:`repro.flow` call graph, and enforces that each transition is
+declared, guarded, ordered, owner-local, and observable.
+"""
+
+from .analyze import ALL_CHECKS, ProtoResult, analyze
+from .cli import main
+from .declarations import ProtocolSpec, collect_protocols
+from .findings import ProtoFinding
+from .inventory import Binding, ProtoInventory, TransitionSite
+
+__all__ = [
+    "ALL_CHECKS",
+    "Binding",
+    "ProtoFinding",
+    "ProtoInventory",
+    "ProtoResult",
+    "ProtocolSpec",
+    "TransitionSite",
+    "analyze",
+    "collect_protocols",
+    "main",
+]

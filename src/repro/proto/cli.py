@@ -1,0 +1,158 @@
+"""Command line front end: ``python -m repro.proto [paths...]``.
+
+Exit status mirrors repro-lint/sanitize/flow/hotpath/bounds: 0 clean,
+1 findings, 2 usage errors -- one contract for every gate in CI.
+Suppressions are ``# repro-proto: disable=<check>`` (or
+``disable-next=``) with a short justification expected on the same or
+neighboring line; a transition that is genuinely legal should instead
+be *declared* on the ``@protocol`` decorator
+(:mod:`repro.common.protomodel`), which documents the state machine at
+the definition instead of silencing one site.
+
+``--report protocols`` prints every declared protocol with its field
+bindings and inventoried transition sites (init/write/forward, with
+the enclosing function) and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    FORMATS,
+    PROFILES,
+    UsageError,
+    discover_program,
+    keep_finding,
+    print_finding,
+    report_parse_errors,
+    select_checks,
+    suppressions_by_path,
+)
+from ..flow.callgraph import build_callgraph
+from ..flow.project import Project
+from .analyze import ALL_CHECKS, analyze
+
+TOOL = "repro-proto"
+
+#: Checks the relaxed profile (fixture trees, harness code analyzed
+#: without --profile strict) does not enforce: a demo script need not
+#: wire metrics into every state flip.
+RELAXED_EXEMPT = frozenset({"silent-transition"})
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.proto",
+        description="Whole-program state-machine conformance analysis: "
+                    "reads @protocol declarations, inventories every "
+                    "state-field write, and checks that each transition "
+                    "is declared, guarded, ordered, owner-local, and "
+                    "observable.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze as one program "
+             "(default: src/repro)",
+    )
+    parser.add_argument(
+        "--check", metavar="NAME[,NAME...]", default=None,
+        help=f"run only these checks (of: {', '.join(ALL_CHECKS)})",
+    )
+    parser.add_argument(
+        "--profile", choices=("auto",) + PROFILES, default="auto",
+        help="auto (default) is strict under src/repro and relaxed "
+             "elsewhere; relaxed does not enforce silent-transition",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="output_format",
+        help="text (default) prints path:line:col lines; github emits "
+             "::error workflow commands that become inline PR annotations",
+    )
+    parser.add_argument(
+        "--report", choices=("protocols",), default=None,
+        help="print declared protocols with bindings and transition "
+             "sites instead of running the checks (informational; "
+             "always exits 0)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def _print_protocols(result) -> None:
+    inventory = result.inventory
+    for name in sorted(result.protocols):
+        spec = result.protocols[name]
+        print(f"{spec.module}:{spec.line}: protocol {name} ({spec.kind}) "
+              f"states={len(spec.states)} "
+              f"transitions={len(spec.transitions)}"
+              + (f" order={' -> '.join(spec.order)}" if spec.order else ""))
+        for binding in inventory.bindings:
+            if binding.spec is not spec:
+                continue
+            owner = binding.owner.rsplit(".", 1)[-1]
+            print(f"  binding {owner}.{binding.attr} "
+                  f"(module {binding.owner_module})")
+            for site in inventory.sites:
+                if site.binding is not binding:
+                    continue
+                dst = site.dst if site.dst is not None else \
+                    (f"<param {site.param}>" if site.param else "<dynamic>")
+                print(f"    {site.kind:<7} {site.path}:{site.line} "
+                      f"{site.receiver} = {dst} in {site.func}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        checks = frozenset(select_checks(args.check, ALL_CHECKS))
+    except UsageError as exc:
+        print(f"{TOOL}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    files = discover_program(args.paths, TOOL)
+    if files is None:
+        return EXIT_USAGE
+    project = Project.build(files)
+    if project.parse_errors:
+        report_parse_errors(project.parse_errors, TOOL)
+        return EXIT_USAGE
+    graph = build_callgraph(project)
+    result = analyze(project, graph, checks)
+
+    if args.report == "protocols":
+        _print_protocols(result)
+        if not args.quiet:
+            inventory = result.inventory
+            print(f"{TOOL}: {len(result.protocols)} protocols, "
+                  f"{len(inventory.bindings)} bindings, "
+                  f"{len(inventory.sites)} transition sites "
+                  f"(informational; not a gate)")
+        return EXIT_CLEAN
+
+    suppressions = suppressions_by_path(project.modules.values(), TOOL)
+    findings = [f for f in result.findings
+                if keep_finding(f, suppressions, args.profile,
+                                RELAXED_EXEMPT)]
+    for finding in findings:
+        print_finding(finding, TOOL, args.output_format)
+    if not args.quiet:
+        inventory = result.inventory
+        print(
+            f"{TOOL}: {len(findings)} finding"
+            f"{'' if len(findings) == 1 else 's'} in {len(files)} files "
+            f"({len(result.protocols)} protocols, "
+            f"{len(inventory.bindings)} bindings, "
+            f"{len(inventory.sites)} transition sites)"
+        )
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Static readers for the ``@protocol`` / ``__protocol__`` contract.
+
+Mirrors how :mod:`repro.bounds.declarations` reads ``@bounded`` /
+``__bounds__``: by name, off the AST, so fixture trees (and code that
+stubs :mod:`repro.common.protomodel`) analyze without being importable.
+
+Two declaration forms (see :mod:`repro.common.protomodel` for the
+runtime side):
+
+* ``@protocol("A->B", ..., field=..., order=(...))`` on a class;
+* ``__protocol__ = ("field", "A->B", ...)`` in a class body -- on an
+  enum the field element is omitted and every element is a transition.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..flow.project import ClassInfo, Project
+
+#: Base-class names that mark a protocol class as an enum (states are
+#: the members; fields are bound by value, not by owning class).
+_ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"})
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One declared state machine, read off the AST."""
+
+    name: str                       #: protocol (class) short name
+    fqn: str                        #: declaring class FQN
+    module: str
+    line: int
+    kind: str                       #: "enum" | "field"
+    states: frozenset[str]
+    transitions: frozenset[tuple[str, str]]
+    order: tuple[str, ...]
+    field: str | None               #: state attribute for kind="field"
+
+    def allows(self, src: str, dst: str) -> bool:
+        """Self-transitions are implicit no-ops; everything else must
+        be a declared pair."""
+        return src == dst or (src, dst) in self.transitions
+
+    def forbidden_sources(self, dst: str) -> list[str]:
+        """States from which writing ``dst`` is illegal."""
+        return sorted(
+            s for s in self.states if s != dst and (s, dst) not in self.transitions
+        )
+
+
+def _decorator_call(dec: ast.expr) -> ast.Call | None:
+    if not isinstance(dec, ast.Call):
+        return None
+    node = dec.func
+    name = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else None)
+    return dec if name == "protocol" else None
+
+
+def _is_enum(klass: ClassInfo) -> bool:
+    return any(
+        base.rsplit(".", 1)[-1] in _ENUM_BASES for base in klass.bases
+    )
+
+
+def _enum_members(klass: ClassInfo) -> frozenset[str]:
+    members = set()
+    for stmt in klass.node.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            if not name.startswith("_"):
+                members.add(name)
+    return frozenset(members)
+
+
+def _parse_pairs(raw: list[str]) -> frozenset[tuple[str, str]]:
+    pairs = set()
+    for item in raw:
+        src, sep, dst = item.partition("->")
+        if sep and src.strip() and dst.strip():
+            pairs.add((src.strip(), dst.strip()))
+    return pairs
+
+
+def _str_constants(exprs: list[ast.expr]) -> list[str]:
+    return [e.value for e in exprs
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)]
+
+
+def _from_decorator(klass: ClassInfo, module_path: str) -> ProtocolSpec | None:
+    for dec in klass.decorators:
+        call = _decorator_call(dec)
+        if call is None:
+            continue
+        raw = _str_constants(call.args)
+        field = None
+        order: tuple[str, ...] = ()
+        for kw in call.keywords:
+            if kw.arg == "field" and isinstance(kw.value, ast.Constant) \
+                    and isinstance(kw.value.value, str):
+                field = kw.value.value
+            elif kw.arg == "order" and isinstance(kw.value, (ast.Tuple, ast.List)):
+                order = tuple(_str_constants(list(kw.value.elts)))
+        return _build(klass, module_path, raw, field, order)
+    return None
+
+
+def _from_tuple(klass: ClassInfo, module_path: str) -> ProtocolSpec | None:
+    for stmt in klass.node.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and stmt.targets[0].id == "__protocol__" \
+                and isinstance(stmt.value, (ast.Tuple, ast.List)):
+            items = _str_constants(list(stmt.value.elts))
+            field = None
+            if items and "->" not in items[0]:
+                field = items[0]
+                items = items[1:]
+            return _build(klass, module_path, items, field, ())
+    return None
+
+
+def _build(klass: ClassInfo, module_path: str, raw: list[str],
+           field: str | None, order: tuple[str, ...]) -> ProtocolSpec | None:
+    pairs = _parse_pairs(raw)
+    if not pairs:
+        return None
+    enum = _is_enum(klass)
+    if enum:
+        states = _enum_members(klass)
+        field = None
+    else:
+        states = frozenset(name for pair in pairs for name in pair)
+        if field is None:
+            return None     # a non-enum protocol must name its field
+    return ProtocolSpec(
+        name=klass.name, fqn=klass.fqn, module=klass.module,
+        line=klass.line, kind="enum" if enum else "field",
+        states=states, transitions=frozenset(pairs),
+        order=order, field=field,
+    )
+
+
+def collect_protocols(project: Project) -> dict[str, ProtocolSpec]:
+    """Every declared protocol in the project, by short class name."""
+    specs: dict[str, ProtocolSpec] = {}
+    for klass in project.classes.values():
+        module = project.modules.get(klass.module)
+        path = module.path if module else ""
+        spec = _from_decorator(klass, path) or _from_tuple(klass, path)
+        if spec is not None:
+            specs[spec.name] = spec
+    return specs

@@ -1,0 +1,18 @@
+"""Finding record shared by every repro-proto rule family."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProtoFinding:
+    check: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.check}: " \
+               f"{self.message}"

@@ -20,6 +20,7 @@ fixture:
 
 from __future__ import annotations
 
+from ..common.errors import declared_raises
 from ..common.scheduler import SchedulePolicy, Scheduler
 from .scenarios import RunOutcome, Scenario, sanitized_cluster
 
@@ -64,6 +65,9 @@ def _run_rogue_direct_write(policy: SchedulePolicy) -> RunOutcome:
     cluster_map = cluster.manager.cluster_maps["b"]
     done = {"rogue": False}
 
+    @declared_raises('CasMismatchError', 'DocumentLockedError',
+                     'NotMyVBucketError', 'TemporaryFailureError',
+                     'ValueTooLargeError')
     def rogue_pump() -> bool:
         # The bug under test: a background component mutating the KV
         # engine object-to-object instead of through Network.call.

@@ -145,6 +145,47 @@ def _run_failover(policy: SchedulePolicy) -> RunOutcome:
     return _outcome(("fo", cluster), observations={"reads": reads})
 
 
+# -- rebalance --------------------------------------------------------------------
+
+
+def _run_rebalance(policy: SchedulePolicy) -> RunOutcome:
+    """vBucket moves (add-node rebalance) followed by a failover
+    promotion: the two paths that retire vBucket copies (move handoff
+    marks the source DEAD; failover promotes replicas over lost
+    actives).  Whatever order the movers, flushers and replicators
+    pumped in, the surviving data -- including ids whose old copies died
+    on a node that later takes them back -- must be identical."""
+    cluster = sanitized_cluster(
+        "rb", policy, vbuckets=8, nodes=[("rb1", _ALL), ("rb2", _ALL)],
+    )
+    cluster.create_bucket("b", replicas=1)
+    client = cluster.connect()
+    for i in range(16):
+        client.upsert("b", f"k{i}", {"i": i})
+    cluster.run_until_idle()
+    # Join a node and move vBuckets onto it (source copies go DEAD).
+    cluster.add_node("rb3", services=_ALL)
+    cluster.rebalance()
+    for i in range(16, 24):
+        client.upsert("b", f"k{i}", {"i": i})
+    for i in range(0, 16, 4):
+        client.remove("b", f"k{i}")
+    cluster.run_until_idle()
+    # Then lose it: auto-failover promotes the replicas back onto the
+    # original nodes, reusing ids they gave away during the move.
+    cluster.crash_node("rb3")
+    cluster.tick(31.0)  # past AUTO_FAILOVER_TIMEOUT: replicas promote
+    cluster.run_until_idle()
+    reads = {}
+    for i in range(24):
+        key = f"k{i}"
+        try:
+            reads[key] = client.get("b", key).value
+        except KeyNotFoundError:
+            reads[key] = "<deleted>"
+    return _outcome(("rb", cluster), observations={"reads": reads})
+
+
 # -- views-gsi-index --------------------------------------------------------------
 
 
@@ -321,6 +362,11 @@ def builtin_scenarios() -> list[Scenario]:
             "failover-replica-promote",
             "auto-failover replica promotion is schedule independent",
             _run_failover,
+        ),
+        Scenario(
+            "rebalance",
+            "vBucket moves then a failover promotion converge under any order",
+            _run_rebalance,
         ),
         Scenario(
             "views-gsi-index",

@@ -154,6 +154,26 @@ class VBucketStore:
         if sync:
             self.log.sync()
 
+    def destroy(self) -> None:
+        """Delete the vBucket's on-disk state.
+
+        ``_recover`` deliberately reopens whatever the file holds, so a
+        drop that merely forgets the in-memory object resurrects the old
+        documents (and their failover lineage) on the next
+        ``create_vbucket`` for the same id.  A DEAD vBucket's disk must
+        be gone before the id is reused."""
+        self.log.file.truncate(0)
+        self.log.sync()
+        # New appends will reuse old offsets; cached decoded nodes for
+        # those offsets are now lies.
+        self.log.node_cache.clear()
+        self.by_key = BTree(self.log)
+        self.by_seq = BTree(self.log)
+        self.update_seq = 0
+        self.doc_count = 0
+        self.deleted_count = 0
+        self.live_size = 0
+
     # -- read path ---------------------------------------------------------------
 
     def _load_doc(self, pointer: int) -> Document:

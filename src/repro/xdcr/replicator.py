@@ -25,6 +25,7 @@ converge on the same winner.
 from __future__ import annotations
 
 import re
+from enum import Enum
 
 from ..common.errors import (
     BucketNotFoundError,
@@ -33,9 +34,34 @@ from ..common.errors import (
     NotMyVBucketError,
     declared_raises,
 )
+from ..common.metrics import MetricsRegistry
+from ..common.protomodel import protocol
 from ..dcp.messages import Deletion, Mutation
 from ..dcp.producer import DcpStream
 from ..kv.types import VBucketState
+
+
+@protocol(
+    # A slot streams until its push fails or the source topology stops
+    # wanting it; FAILED is a one-way door to CLOSED -- a failed stream
+    # already consumed mutations it could not deliver, so it must never
+    # resume (the replicator opens a *fresh* stream from seqno 0 and
+    # conflict resolution dedups the replayed prefix).
+    "STREAMING->FAILED", "STREAMING->CLOSED", "FAILED->CLOSED",
+)
+class XdcrStreamState(Enum):
+    STREAMING = "streaming"
+    FAILED = "failed"
+    CLOSED = "closed"
+
+
+class XdcrStream:
+    """One (source node, vBucket) replication slot: the DCP stream plus
+    its delivery lifecycle state."""
+
+    def __init__(self, stream: DcpStream):
+        self.stream = stream
+        self.state = XdcrStreamState.STREAMING
 
 
 class XdcrReplication:
@@ -51,17 +77,26 @@ class XdcrReplication:
         self.bucket = bucket
         self.target_bucket = target_bucket or bucket
         self.filter = re.compile(filter_pattern) if filter_pattern else None
-        #: (node_name, vbucket) -> DcpStream
-        self._streams: dict[tuple[str, int], DcpStream] = {}
+        #: (node_name, vbucket) -> XdcrStream slot
+        self._streams: dict[tuple[str, int], XdcrStream] = {}
         self.paused = False
         self.docs_sent = 0
         self.docs_filtered = 0
+        self.metrics = MetricsRegistry()
         self.name = f"xdcr/{bucket}->{self.target_bucket}"
         source_cluster.scheduler.register(self.name, self.pump)
 
     def stop(self) -> None:
         self.source.scheduler.unregister(self.name)
-        self._streams.clear()
+        for key in list(self._streams):
+            self._retire(key)
+
+    def _retire(self, key: tuple[str, int]) -> None:
+        """Close and forget one slot (topology change or shutdown)."""
+        slot = self._streams.pop(key)
+        if slot.state is not XdcrStreamState.CLOSED:
+            slot.state = XdcrStreamState.CLOSED
+        self.metrics.inc("xdcr.stream_closed")
 
     # -- the pump ------------------------------------------------------------------
 
@@ -72,8 +107,8 @@ class XdcrReplication:
             return False
         self._sync_streams()
         moved = False
-        for (node_name, vbucket_id), stream in list(self._streams.items()):
-            for message in stream.take(self.BATCH):
+        for key, slot in list(self._streams.items()):
+            for message in slot.stream.take(self.BATCH):
                 if not isinstance(message, (Mutation, Deletion)):
                     continue
                 if self.filter is not None and not self.filter.search(
@@ -87,12 +122,15 @@ class XdcrReplication:
                     # Delivery failed (target down, partitioned, or
                     # repartitioned mid-stream).  The stream already
                     # consumed this mutation, so silently continuing
-                    # would drop it forever: drop the stream instead --
-                    # _sync_streams reopens it from seqno 0 and conflict
-                    # resolution dedups the replayed prefix.  Not counted
-                    # as progress, so a persistently unreachable target
-                    # still lets the scheduler quiesce.
-                    del self._streams[(node_name, vbucket_id)]
+                    # would drop it forever: fail the slot and retire it
+                    # -- _sync_streams reopens a fresh stream from seqno
+                    # 0 and conflict resolution dedups the replayed
+                    # prefix.  Not counted as progress, so a persistently
+                    # unreachable target still lets the scheduler quiesce.
+                    if slot.state is XdcrStreamState.STREAMING:
+                        slot.state = XdcrStreamState.FAILED
+                    self.metrics.inc("xdcr.stream_failed")
+                    self._retire(key)
                     break
         return moved
 
@@ -111,15 +149,18 @@ class XdcrReplication:
                 wanted.add((node_name, vbucket_id))
         for key in list(self._streams):
             if key not in wanted:
-                del self._streams[key]
+                self._retire(key)
         for node_name, vbucket_id in wanted:
             if (node_name, vbucket_id) in self._streams:
                 continue
             producer = self.source.manager.nodes[node_name].producers[self.bucket]
             try:
-                self._streams[(node_name, vbucket_id)] = producer.stream_request(
-                    vbucket_id, start_seqno=0, allow_replica=False,
+                self._streams[(node_name, vbucket_id)] = XdcrStream(
+                    producer.stream_request(
+                        vbucket_id, start_seqno=0, allow_replica=False,
+                    )
                 )
+                self.metrics.inc("xdcr.stream_opened")
             # Vbucket moved mid-sweep; next pump re-derives streams.
             # repro-flow: disable-next=swallowed-exception
             except NotMyVBucketError:
@@ -157,7 +198,8 @@ class XdcrReplication:
     def backlog(self) -> int:
         """Mutations not yet streamed (approximate, for tests/stats)."""
         total = 0
-        for (node_name, vbucket_id), stream in self._streams.items():
+        for slot in self._streams.values():
+            stream = slot.stream
             total += max(0, stream.vb.high_seqno - stream.last_seqno)
         return total
 

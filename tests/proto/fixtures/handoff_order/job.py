@@ -1,0 +1,42 @@
+"""Out-of-order handoff events: every transition is declared (so no
+illegal/unguarded findings), but the declared order LOAD -> RUN -> FLUSH
+is violated by touching RUN after FLUSH in one function."""
+
+
+def protocol(*transitions, field=None, order=()):
+    def mark(cls):
+        return cls
+    return mark
+
+
+class Enum:
+    pass
+
+
+class Metrics:
+    def inc(self, name):
+        pass
+
+
+@protocol(
+    "LOAD->RUN", "LOAD->FLUSH", "RUN->LOAD", "RUN->FLUSH",
+    "FLUSH->LOAD", "FLUSH->RUN",
+    order=("LOAD", "RUN", "FLUSH"),
+)
+class Stage(Enum):
+    LOAD = "load"
+    RUN = "run"
+    FLUSH = "flush"
+
+
+class Job:
+    def __init__(self):
+        self.stage = Stage.LOAD
+        self.metrics = Metrics()
+
+    def run_all(self):
+        self.stage = Stage.LOAD
+        self.metrics.inc("job.staged")
+        self.stage = Stage.FLUSH
+        # BUG: RUN after FLUSH inverts the declared handoff order.
+        self.stage = Stage.RUN

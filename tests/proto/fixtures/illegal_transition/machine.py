@@ -1,0 +1,42 @@
+"""A guarded write whose guard still admits an undeclared source:
+``finish`` excludes DONE but not IDLE, so the IDLE->DONE path (never
+declared) survives the guard."""
+
+
+def protocol(*transitions, field=None, order=()):
+    def mark(cls):
+        return cls
+    return mark
+
+
+class Enum:
+    pass
+
+
+class Metrics:
+    def inc(self, name):
+        pass
+
+
+@protocol("IDLE->RUNNING", "RUNNING->DONE")
+class Phase(Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class Machine:
+    def __init__(self):
+        self.phase = Phase.IDLE
+        self.metrics = Metrics()
+
+    def start(self):
+        if self.phase is Phase.IDLE:
+            self.phase = Phase.RUNNING
+            self.metrics.inc("machine.started")
+
+    def finish(self):
+        # BUG: "not DONE yet" admits IDLE, and IDLE->DONE is undeclared.
+        if self.phase is not Phase.DONE:
+            self.phase = Phase.DONE
+            self.metrics.inc("machine.finished")

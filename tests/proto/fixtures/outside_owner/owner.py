@@ -1,0 +1,34 @@
+"""The protocol and its owning class: Boiler.heat carries Heat."""
+
+
+def protocol(*transitions, field=None, order=()):
+    def mark(cls):
+        return cls
+    return mark
+
+
+class Enum:
+    pass
+
+
+class Metrics:
+    def inc(self, name):
+        pass
+
+
+@protocol("COLD->WARM", "WARM->HOT", "HOT->COLD")
+class Heat(Enum):
+    COLD = "cold"
+    WARM = "warm"
+    HOT = "hot"
+
+
+class Boiler:
+    def __init__(self):
+        self.heat = Heat.COLD
+        self.metrics = Metrics()
+
+    def warm_up(self):
+        if self.heat is Heat.COLD:
+            self.heat = Heat.WARM
+            self.metrics.inc("boiler.warming")

@@ -1,0 +1,16 @@
+"""A different module reaching into Boiler's state field directly.
+The write is guarded and legal -- but it belongs in an owner-class
+method, not here."""
+
+from owner import Heat, Metrics
+
+
+class ControlPanel:
+    def __init__(self):
+        self.metrics = Metrics()
+
+    def push_warm(self, boiler):
+        # BUG: mutates Boiler.heat from outside its owner module.
+        if boiler.heat is Heat.COLD:
+            boiler.heat = Heat.WARM
+            self.metrics.inc("panel.pushed")

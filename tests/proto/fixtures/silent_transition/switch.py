@@ -1,0 +1,28 @@
+"""A guarded, legal transition that emits nothing: no metrics, no
+tracing, no log -- invisible state changes (strict profile only)."""
+
+
+def protocol(*transitions, field=None, order=()):
+    def mark(cls):
+        return cls
+    return mark
+
+
+class Enum:
+    pass
+
+
+@protocol("OFF->ON", "ON->OFF")
+class Power(Enum):
+    OFF = "off"
+    ON = "on"
+
+
+class Switch:
+    def __init__(self):
+        self.power = Power.OFF
+
+    def turn_on(self):
+        # BUG: legal and guarded, but nothing observable records it.
+        if self.power is Power.OFF:
+            self.power = Power.ON

@@ -1,0 +1,41 @@
+"""An unguarded write with a forbidden in-edge: ``close`` stores CLOSED
+without checking the current state, and NEW->CLOSED is undeclared."""
+
+
+def protocol(*transitions, field=None, order=()):
+    def mark(cls):
+        return cls
+    return mark
+
+
+class Enum:
+    pass
+
+
+class Metrics:
+    def inc(self, name):
+        pass
+
+
+@protocol("NEW->READY", "READY->CLOSED")
+class ConnState(Enum):
+    NEW = "new"
+    READY = "ready"
+    CLOSED = "closed"
+
+
+class Conn:
+    def __init__(self):
+        self.state = ConnState.NEW
+        self.metrics = Metrics()
+
+    def handshake(self):
+        if self.state is ConnState.NEW:
+            self.state = ConnState.READY
+            self.metrics.inc("conn.ready")
+
+    def close(self):
+        # BUG: no guard -- a NEW connection would run the undeclared
+        # NEW->CLOSED transition.
+        self.state = ConnState.CLOSED
+        self.metrics.inc("conn.closed")
